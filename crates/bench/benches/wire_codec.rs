@@ -1,0 +1,45 @@
+//! Criterion bench: wire-format encode/decode throughput — the per-probe
+//! fixed cost of the whole pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use inet::Addr;
+use wire::{builder, Packet};
+
+fn bench_wire(c: &mut Criterion) {
+    let src: Addr = "10.0.0.1".parse().unwrap();
+    let dst: Addr = "198.51.100.7".parse().unwrap();
+    let reporter: Addr = "10.20.30.40".parse().unwrap();
+
+    let icmp = builder::icmp_probe(src, dst, 7, 0x7ace, 42);
+    let udp = builder::udp_probe(src, dst, 7, 54000, 33442);
+    let tcp = builder::tcp_probe(src, dst, 7, 44000, 80);
+    let err = builder::ttl_exceeded(&udp, reporter);
+
+    let mut g = c.benchmark_group("wire");
+    g.bench_function("encode_icmp_probe", |b| b.iter(|| black_box(&icmp).encode()));
+    g.bench_function("encode_udp_probe", |b| b.iter(|| black_box(&udp).encode()));
+    g.bench_function("encode_tcp_probe", |b| b.iter(|| black_box(&tcp).encode()));
+    g.bench_function("encode_icmp_error_with_quote", |b| b.iter(|| black_box(&err).encode()));
+
+    let icmp_bytes = icmp.encode();
+    let err_bytes = err.encode();
+    g.bench_function("decode_icmp_probe", |b| {
+        b.iter(|| Packet::decode(black_box(&icmp_bytes)).unwrap())
+    });
+    g.bench_function("decode_icmp_error_with_quote", |b| {
+        b.iter(|| Packet::decode(black_box(&err_bytes)).unwrap())
+    });
+    g.bench_function("roundtrip_probe_and_error", |b| {
+        b.iter(|| {
+            let p = builder::icmp_probe(src, dst, 7, 1, 2);
+            let bytes = p.encode();
+            let back = Packet::decode(&bytes).unwrap();
+            let e = builder::ttl_exceeded(&back, reporter);
+            Packet::decode(&e.encode()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Validates the **§3.6 probing-overhead model**: a point-to-point
+//! on-path subnet costs a handful of probes, and exploring a subnet `S`
+//! never exceeds the paper's `7·|S| + 7` upper bound — including the
+//! adversarial half-utilized (odd-addresses-only) layout the paper calls
+//! the worst case.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin overhead
+//! ```
+
+use bench_suite::overhead_sweep;
+
+fn main() {
+    println!("== §3.6: probing overhead vs subnet size ==\n");
+    println!(
+        "{:>10} {:>6} {:>10} {:>8} {:>8} {:>8}",
+        "layout", "|S|", "collected", "probes", "7|S|+7", "within"
+    );
+    let mut all_within = true;
+    for p in overhead_sweep() {
+        let bound = 7 * p.true_size as u64 + 7;
+        let ok = p.probes <= bound;
+        all_within &= ok;
+        println!(
+            "{:>10} {:>6} {:>10} {:>8} {:>8} {:>8}",
+            p.layout,
+            p.true_size,
+            p.collected_size,
+            p.probes,
+            bound,
+            if ok { "yes" } else { "NO" }
+        );
+    }
+    println!();
+    if all_within {
+        println!("every exploration stayed within the paper's 7|S|+7 bound");
+    } else {
+        println!("BOUND VIOLATED — see rows marked NO");
+    }
+    println!("(paper: a p2p subnet costs ~4 probes; worst case 7|S|+7 for");
+    println!("multi-access LANs using only odd or even addresses. The odd");
+    println!("layouts also demonstrate a paper quirk we reproduce faithfully:");
+    println!("the half-utilized subnet is underestimated by the utilization");
+    println!("rule, and H9 then halves it toward the pivot because the");
+    println!("underestimated prefix's broadcast address is an assigned member");
+    println!("— collected size collapses while the probing cost stays modest.)");
+}

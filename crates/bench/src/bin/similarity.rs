@@ -1,0 +1,25 @@
+//! Regenerates the **§4.1.2 similarity rates**: prefix-length and
+//! subnet-size similarity of the collected Internet2/GEANT topologies to
+//! the originals (equations 1–5).
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin similarity [seed]
+//! ```
+
+use bench_suite::{paper, table1, table2, SEED};
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(SEED);
+    let i2 = table1(seed);
+    let ge = table2(seed);
+    println!("== §4.1.2: similarity of collected to original topologies ==");
+    println!("seed: {seed}\n");
+    println!("                       ours    paper");
+    println!("internet2  prefix    {:>6.3}    {:>5.3}", i2.prefix_similarity, paper::SIMILARITY.0);
+    println!("geant      prefix    {:>6.3}    {:>5.3}", ge.prefix_similarity, paper::SIMILARITY.1);
+    println!("internet2  size      {:>6.3}    {:>5.3}", i2.size_similarity, paper::SIMILARITY.2);
+    println!("geant      size      {:>6.3}    {:>5.3}", ge.size_similarity, paper::SIMILARITY.3);
+    println!();
+    println!("(1.0 = exactly the original topology, 0.0 = totally dissimilar;");
+    println!("equations (1)-(5) of the paper, Minkowski order k = 1.)");
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Table 1**: Internet2, original and collected subnet
+//! distribution.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin table1 [seed]
+//! ```
+
+use bench_suite::{paper, table1, SEED};
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(SEED);
+    let r = table1(seed);
+    println!("== Table 1: Internet2, original and collected subnet distribution ==");
+    println!(
+        "seed: {seed}, probes: {}; §4.1.1 audit agrees with ground truth on {}/{} subnets",
+        r.probes, r.audit_agreement.0, r.audit_agreement.1
+    );
+    println!();
+    print!("{}", r.table);
+    println!();
+    println!(
+        "paper: exact match {:.1}% incl. unresponsive, {:.1}% excl.",
+        100.0 * paper::T1_EXACT_INCL,
+        100.0 * paper::T1_EXACT_EXCL
+    );
+    println!(
+        "ours : exact match {:.1}% incl. unresponsive, {:.1}% excl.",
+        100.0 * r.table.exact_rate(),
+        100.0 * r.table.exact_rate_responsive()
+    );
+}

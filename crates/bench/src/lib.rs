@@ -1,0 +1,14 @@
+//! Experiment harness shared by the reproduction binaries and benches.
+//!
+//! Each function regenerates one table or figure of the paper's
+//! evaluation (see DESIGN.md's per-experiment index). The binaries in
+//! `src/bin/` print them; `repro_all` runs everything and emits the
+//! paper-vs-measured summary used in EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;
+
+pub use experiments::*;

@@ -1,0 +1,123 @@
+//! A tiny, dependency-free argument parser: positionals plus
+//! `--flag value` / `--flag` pairs.
+
+use std::collections::BTreeMap;
+
+/// Parsed command arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Opts {
+    positionals: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Opts {
+    /// Parses `argv`. A token starting with `--` becomes a flag; known
+    /// boolean flags take no value, any other flag consumes the next
+    /// non-`--` token as its value.
+    pub fn parse(argv: &[String]) -> Result<Opts, String> {
+        /// Flags that never take a value.
+        const BOOLEAN: [&str; 3] = ["json", "all", "paris"];
+        let mut out = Opts::default();
+        let mut it = argv.iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err("empty flag name `--`".to_string());
+                }
+                let value = if BOOLEAN.contains(&name) {
+                    "true".to_string()
+                } else {
+                    match it.peek() {
+                        Some(next) if !next.starts_with("--") => {
+                            it.next().expect("peeked").clone()
+                        }
+                        _ => return Err(format!("flag --{name} needs a value")),
+                    }
+                };
+                if out.flags.insert(name.to_string(), value).is_some() {
+                    return Err(format!("flag --{name} given twice"));
+                }
+            } else {
+                out.positionals.push(tok.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The n-th positional argument.
+    pub fn positional(&self, n: usize) -> Option<&str> {
+        self.positionals.get(n).map(String::as_str)
+    }
+
+    /// The n-th positional, or an error naming it.
+    pub fn required(&self, n: usize, what: &str) -> Result<&str, String> {
+        self.positional(n).ok_or_else(|| format!("missing {what}"))
+    }
+
+    /// A flag's raw value.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// A parsed flag value with a default.
+    pub fn flag_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: {v:?}")),
+        }
+    }
+
+    /// A required flag value, parsed.
+    pub fn flag_required<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let v = self.flag(name).ok_or_else(|| format!("missing --{name}"))?;
+        v.parse().map_err(|_| format!("invalid value for --{name}: {v:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Opts {
+        let v: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        Opts::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_flags_mix() {
+        let o = parse(&["file.json", "--target", "10.0.0.1", "--json", "extra"]);
+        assert_eq!(o.positional(0), Some("file.json"));
+        assert_eq!(o.positional(1), Some("extra"));
+        assert_eq!(o.flag("target"), Some("10.0.0.1"));
+        assert!(o.has("json"));
+        assert!(!o.has("paris"));
+    }
+
+    #[test]
+    fn flag_parse_defaults_and_errors() {
+        let o = parse(&["--seed", "42"]);
+        assert_eq!(o.flag_parse("seed", 7u64).unwrap(), 42);
+        assert_eq!(o.flag_parse("count", 3u8).unwrap(), 3);
+        let bad = parse(&["--seed", "xyz"]);
+        assert!(bad.flag_parse("seed", 7u64).is_err());
+    }
+
+    #[test]
+    fn duplicate_flags_rejected() {
+        let v: Vec<String> =
+            ["--seed", "1", "--seed", "2"].iter().map(|s| s.to_string()).collect();
+        assert!(Opts::parse(&v).is_err());
+    }
+
+    #[test]
+    fn required_reports_whats_missing() {
+        let o = parse(&[]);
+        let err = o.required(0, "scenario file").unwrap_err();
+        assert!(err.contains("scenario file"));
+    }
+}

@@ -1,0 +1,319 @@
+//! The CLI subcommands. Each is a pure function from parsed options to
+//! output text, which keeps them directly testable.
+
+use inet::{Addr, Prefix};
+use netsim::Network;
+use probe::{Protocol, SimProber};
+use topogen::Scenario;
+use tracenet::{Session, TracenetOptions};
+
+use crate::args::Opts;
+
+fn load(opts: &Opts) -> Result<Scenario, String> {
+    let path = opts.required(0, "scenario file (generate one with `tracenet generate`)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    topogen::io::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn protocol(opts: &Opts) -> Result<Protocol, String> {
+    match opts.flag("protocol").unwrap_or("icmp") {
+        "icmp" => Ok(Protocol::Icmp),
+        "udp" => Ok(Protocol::Udp),
+        "tcp" => Ok(Protocol::Tcp),
+        other => Err(format!("unknown protocol {other:?} (icmp|udp|tcp)")),
+    }
+}
+
+fn vantage(scenario: &Scenario, opts: &Opts) -> Result<Addr, String> {
+    match opts.flag("vantage") {
+        None => scenario
+            .vantages
+            .first()
+            .map(|&(_, a)| a)
+            .ok_or_else(|| "scenario has no vantage points".to_string()),
+        Some(name) => scenario
+            .vantages
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, a)| a)
+            .ok_or_else(|| {
+                let known: Vec<&str> =
+                    scenario.vantages.iter().map(|(n, _)| n.as_str()).collect();
+                format!("no vantage {name:?}; scenario has {known:?}")
+            }),
+    }
+}
+
+/// `tracenet generate <kind> [--seed N] [--size N] [--out FILE]`
+pub fn generate(opts: &Opts) -> Result<String, String> {
+    let kind = opts.required(0, "scenario kind (internet2|geant|isp|random)")?;
+    let seed = opts.flag_parse("seed", 2010u64)?;
+    let scenario = match kind {
+        "internet2" => topogen::internet2(seed),
+        "geant" => topogen::geant(seed),
+        "isp" => topogen::isp_internet(seed),
+        "random" => topogen::random_topology(seed, opts.flag_parse("size", 8usize)?),
+        other => return Err(format!("unknown scenario kind {other:?}")),
+    };
+    let json = topogen::io::to_json(&scenario);
+    match opts.flag("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+            Ok(format!(
+                "wrote {path}: scenario {:?}, {} routers, {} subnets, {} targets\n",
+                scenario.name,
+                scenario.topology.router_count(),
+                scenario.topology.subnets().len(),
+                scenario.targets.len()
+            ))
+        }
+        None => Ok(json),
+    }
+}
+
+/// `tracenet info <scenario>`
+pub fn info(opts: &Opts) -> Result<String, String> {
+    let s = load(opts)?;
+    let mut out = String::new();
+    out.push_str(&format!("scenario: {}\n", s.name));
+    out.push_str(&format!(
+        "routers: {} ({} hosts)\n",
+        s.topology.router_count(),
+        s.topology.routers().iter().filter(|r| r.is_host).count()
+    ));
+    out.push_str(&format!("subnets: {}\n", s.topology.subnets().len()));
+    out.push_str(&format!("interfaces: {}\n", s.topology.ifaces().len()));
+    out.push_str(&format!("targets: {}\n", s.targets.len()));
+    out.push_str("vantages:\n");
+    for (name, addr) in &s.vantages {
+        out.push_str(&format!("  {name}: {addr}\n"));
+    }
+    let mut by_net = std::collections::BTreeMap::new();
+    for g in s.ground_truth.evaluated() {
+        *by_net.entry(g.network.clone()).or_insert(0usize) += 1;
+    }
+    out.push_str("evaluated subnets per network:\n");
+    for (net, n) in by_net {
+        out.push_str(&format!("  {net}: {n}\n"));
+    }
+    Ok(out)
+}
+
+/// `tracenet trace <scenario> (--target A | --all) [...]`
+pub fn trace(opts: &Opts) -> Result<String, String> {
+    let scenario = load(opts)?;
+    let v = vantage(&scenario, opts)?;
+    let proto = protocol(opts)?;
+    let mut tn_opts = TracenetOptions::default();
+    tn_opts.max_ttl = opts.flag_parse("max-ttl", tn_opts.max_ttl)?;
+
+    let targets: Vec<Addr> = if opts.has("all") {
+        scenario.targets.clone()
+    } else {
+        vec![opts.flag_required::<Addr>("target").map_err(|_| {
+            "missing --target ADDR (or --all for the scenario's target list)".to_string()
+        })?]
+    };
+
+    let mut net = Network::new(scenario.topology.clone());
+    let mut out = String::new();
+    let mut reports = Vec::new();
+    for (k, &target) in targets.iter().enumerate() {
+        let mut prober = SimProber::with_protocol(&mut net, v, proto).ident(k as u16 ^ 0x7ace);
+        let report = Session::new(&mut prober, tn_opts).run(target);
+        if opts.has("json") {
+            reports.push(report_to_json(&report));
+        } else {
+            out.push_str(&report.to_string());
+            out.push('\n');
+        }
+    }
+    if opts.has("json") {
+        return Ok(serde_json::Value::Array(reports).to_string());
+    }
+    Ok(out)
+}
+
+fn report_to_json(r: &tracenet::TraceReport) -> serde_json::Value {
+    serde_json::json!({
+        "vantage": r.vantage.to_string(),
+        "destination": r.destination.to_string(),
+        "reached": r.destination_reached,
+        "probes": r.total_probes,
+        "hops": r.hops.iter().map(|h| serde_json::json!({
+            "hop": h.hop,
+            "addr": h.addr.map(|a| a.to_string()),
+            "subnet": h.subnet.as_ref().map(|s| serde_json::json!({
+                "prefix": s.record.prefix().to_string(),
+                "members": s.record.members().iter().map(|m| m.to_string())
+                    .collect::<Vec<_>>(),
+                "pivot": s.pivot.to_string(),
+                "contra_pivot": s.contra_pivot.map(|c| c.to_string()),
+                "on_path": s.on_path,
+            })),
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// `tracenet traceroute <scenario> --target A [...]`
+pub fn traceroute_cmd(opts: &Opts) -> Result<String, String> {
+    let scenario = load(opts)?;
+    let v = vantage(&scenario, opts)?;
+    let proto = protocol(opts)?;
+    let target: Addr = opts.flag_required("target")?;
+    let mut tr_opts = traceroute::TracerouteOptions::default();
+    tr_opts.paris = opts.has("paris");
+    tr_opts.probes_per_hop = opts.flag_parse("queries", tr_opts.probes_per_hop)?;
+    tr_opts.max_ttl = opts.flag_parse("max-ttl", tr_opts.max_ttl)?;
+
+    let mut net = Network::new(scenario.topology.clone());
+    let mut prober = SimProber::with_protocol(&mut net, v, proto)
+        .flow_mode(if tr_opts.paris { probe::FlowMode::Paris } else { probe::FlowMode::Classic });
+    let report = traceroute::traceroute(&mut prober, target, tr_opts);
+    Ok(report.to_string())
+}
+
+/// `tracenet ping <scenario> --target A [--count N]`
+pub fn ping_cmd(opts: &Opts) -> Result<String, String> {
+    let scenario = load(opts)?;
+    let v = vantage(&scenario, opts)?;
+    let target: Addr = opts.flag_required("target")?;
+    let count = opts.flag_parse("count", 3u8)?;
+    let mut net = Network::new(scenario.topology.clone());
+    let mut prober = SimProber::new(&mut net, v);
+    let r = traceroute::ping(&mut prober, target, count);
+    Ok(match r.reply_from {
+        Some(from) => format!("{}: {}/{} replies (from {from})\n", r.target, r.received, r.sent),
+        None => format!("{}: no reply ({} probes)\n", r.target, r.sent),
+    })
+}
+
+/// `tracenet sweep <scenario> --prefix P`
+pub fn sweep(opts: &Opts) -> Result<String, String> {
+    let scenario = load(opts)?;
+    let v = vantage(&scenario, opts)?;
+    let prefix: Prefix = opts.flag_required("prefix")?;
+    let mut net = Network::new(scenario.topology.clone());
+    let mut prober = SimProber::new(&mut net, v);
+    let alive = traceroute::ping_sweep(&mut prober, prefix);
+    let mut out = format!(
+        "{prefix}: {}/{} alive\n",
+        alive.len(),
+        prefix.probe_addrs().len()
+    );
+    for a in alive {
+        out.push_str(&format!("  {a}\n"));
+    }
+    Ok(out)
+}
+
+/// `tracenet map <scenario> [--vantage NAME] [--protocol ...]` — trace
+/// every scenario target and emit the assembled subnet-level topology
+/// map as Graphviz DOT.
+pub fn map(opts: &Opts) -> Result<String, String> {
+    let scenario = load(opts)?;
+    let v = vantage(&scenario, opts)?;
+    let proto = protocol(opts)?;
+    let mut net = Network::new(scenario.topology.clone());
+    let mut graph = evalkit::graph::SubnetGraph::new();
+    for (k, &target) in scenario.targets.iter().enumerate() {
+        let mut prober = SimProber::with_protocol(&mut net, v, proto).ident(k as u16 ^ 0x3a90);
+        let report = Session::new(&mut prober, TracenetOptions::default()).run(target);
+        graph.add_report(&report);
+    }
+    Ok(graph.to_dot(&format!(
+        "{} from {} ({} subnets, {} adjacencies)",
+        scenario.name,
+        v,
+        graph.node_count(),
+        graph.edge_count()
+    )))
+}
+
+/// `tracenet crossval <scenario> [--protocol ...]` — run every vantage
+/// over the shared target list and print the Figure 6-style agreement.
+pub fn crossval(opts: &Opts) -> Result<String, String> {
+    let scenario = load(opts)?;
+    if scenario.vantages.len() != 3 {
+        return Err(format!(
+            "crossval needs exactly 3 vantage points, scenario has {}",
+            scenario.vantages.len()
+        ));
+    }
+    let proto = protocol(opts)?;
+    let mut net = Network::new(scenario.topology.clone());
+    let mut sets = Vec::new();
+    for (name, addr) in scenario.vantages.clone() {
+        let collected = evalkit::run::run_tracenet(
+            &mut net,
+            addr,
+            &scenario.targets,
+            proto,
+            &TracenetOptions::default(),
+        );
+        sets.push((name, collected.prefixes()));
+    }
+    let venn =
+        evalkit::crossval::VennPartition::compute(&sets[0].1, &sets[1].1, &sets[2].1);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "vantages: {} ({}), {} ({}), {} ({})\n",
+        sets[0].0,
+        sets[0].1.len(),
+        sets[1].0,
+        sets[1].1.len(),
+        sets[2].0,
+        sets[2].1.len()
+    ));
+    out.push_str(&format!(
+        "only: {} / {} / {}; pairwise: {} {} {}; all three: {}\n",
+        venn.only_a, venn.only_b, venn.only_c, venn.ab, venn.ac, venn.bc, venn.abc
+    ));
+    out.push_str(&format!(
+        "seen by all three: {}; verified by at least one other: {}\n",
+        evalkit::render::pct(venn.all_three_rate()),
+        evalkit::render::pct(venn.verified_by_another_rate()),
+    ));
+    Ok(out)
+}
+
+/// `tracenet eval <scenario> [--protocol ...]`
+pub fn eval(opts: &Opts) -> Result<String, String> {
+    let scenario = load(opts)?;
+    let v = vantage(&scenario, opts)?;
+    let proto = protocol(opts)?;
+    let mut net = Network::new(scenario.topology.clone());
+    let collected = evalkit::run::run_tracenet(
+        &mut net,
+        v,
+        &scenario.targets,
+        proto,
+        &TracenetOptions::default(),
+    );
+
+    let mut out = format!(
+        "collected {} subnets, {} addresses, {} probes over {} sessions\n",
+        collected.prefixes().len(),
+        collected.addresses().len(),
+        collected.probes,
+        collected.sessions
+    );
+    // Score per evaluated network.
+    let mut networks: Vec<String> = scenario
+        .ground_truth
+        .evaluated()
+        .map(|g| g.network.clone())
+        .collect();
+    networks.sort();
+    networks.dedup();
+    for network in networks {
+        let gt: Vec<&topogen::GtSubnet> =
+            scenario.ground_truth.of_network(&network).collect();
+        let mut cls = evalkit::classify::classify(&gt, &collected.records());
+        let mut auditor = SimProber::new(&mut net, v);
+        evalkit::audit::audit_classifications(&mut auditor, &mut cls);
+        let table = evalkit::classify::SubnetTable::build(&cls);
+        out.push_str(&format!("\n== {network} ==\n{table}"));
+    }
+    Ok(out)
+}

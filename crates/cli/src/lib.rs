@@ -1,0 +1,77 @@
+//! The `tracenet` command-line tool.
+//!
+//! A released version of the paper's collector, operating over scenario
+//! files (see `topogen::io`): generate a measurement environment once,
+//! then trace, ping, sweep and evaluate against it.
+//!
+//! ```text
+//! tracenet generate internet2 --seed 42 --out i2.json
+//! tracenet info i2.json
+//! tracenet trace i2.json --target 10.48.0.33
+//! tracenet trace i2.json --all --json > collected.json
+//! tracenet traceroute i2.json --target 10.48.0.33 --paris
+//! tracenet ping i2.json --target 10.48.0.33
+//! tracenet sweep i2.json --prefix 10.48.0.32/29
+//! tracenet eval i2.json
+//! ```
+//!
+//! All commands are pure functions from (scenario file, flags) to text,
+//! so the integration tests drive them exactly as a shell user would.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use args::Opts;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+tracenet — subnet-level topology collection (TraceNET, IMC 2010)
+
+USAGE:
+    tracenet <command> [args]
+
+COMMANDS:
+    generate <internet2|geant|isp|random> [--seed N] [--size N] [--out FILE]
+                              generate a scenario (JSON to --out or stdout)
+    info <scenario>           summarize a scenario file
+    trace <scenario> (--target ADDR | --all) [--vantage NAME]
+                              [--protocol icmp|udp|tcp] [--max-ttl N] [--json]
+                              run tracenet sessions
+    traceroute <scenario> --target ADDR [--vantage NAME] [--paris]
+                              [--queries N] run the baseline traceroute
+    ping <scenario> --target ADDR [--vantage NAME] [--count N]
+    sweep <scenario> --prefix P [--vantage NAME]
+                              ping every address of a prefix (§4.1.1 audit)
+    eval <scenario> [--protocol icmp|udp|tcp]
+                              collect everything and score against ground truth
+    map <scenario> [--vantage NAME] [--protocol icmp|udp|tcp]
+                              emit the collected subnet-level map as Graphviz DOT
+    crossval <scenario>       run all three vantages and print Figure 6-style
+                              agreement rates
+";
+
+/// Runs the CLI on `argv` (without the program name). Returns the text
+/// to print, or an error message for stderr + nonzero exit.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let (command, rest) = match argv.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => return Err(USAGE.to_string()),
+    };
+    let opts = Opts::parse(rest)?;
+    match command {
+        "generate" => commands::generate(&opts),
+        "info" => commands::info(&opts),
+        "trace" => commands::trace(&opts),
+        "traceroute" => commands::traceroute_cmd(&opts),
+        "ping" => commands::ping_cmd(&opts),
+        "sweep" => commands::sweep(&opts),
+        "eval" => commands::eval(&opts),
+        "map" => commands::map(&opts),
+        "crossval" => commands::crossval(&opts),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}

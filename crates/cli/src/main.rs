@@ -1,0 +1,12 @@
+//! `tracenet` binary entry point.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match tracenet_cli::run(&argv) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! CLI integration tests: drive the commands exactly as a shell user
+//! would (argv in, text out), against a temp-dir scenario file.
+
+use std::path::PathBuf;
+
+fn run(args: &[&str]) -> Result<String, String> {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    tracenet_cli::run(&argv)
+}
+
+/// Generates a small random scenario file in a fresh temp path.
+fn scenario_file(tag: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("tracenet-cli-test-{tag}-{}.json", std::process::id()));
+    let out = run(&[
+        "generate",
+        "random",
+        "--seed",
+        "5",
+        "--size",
+        "4",
+        "--out",
+        path.to_str().expect("utf8 temp path"),
+    ])
+    .expect("generate succeeds");
+    assert!(out.contains("wrote"));
+    path
+}
+
+#[test]
+fn help_and_unknown_commands() {
+    assert!(run(&["help"]).unwrap().contains("USAGE"));
+    assert!(run(&[]).is_err());
+    let err = run(&["frobnicate"]).unwrap_err();
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn generate_to_stdout_is_valid_scenario_json() {
+    let json = run(&["generate", "internet2", "--seed", "3"]).unwrap();
+    let scenario = topogen::io::from_json(&json).expect("valid scenario");
+    assert_eq!(scenario.name, "internet2");
+    assert_eq!(scenario.targets.len(), 179);
+}
+
+#[test]
+fn info_summarizes_the_file() {
+    let path = scenario_file("info");
+    let out = run(&["info", path.to_str().unwrap()]).unwrap();
+    assert!(out.contains("scenario: random-5-4"));
+    assert!(out.contains("vantages:"));
+    assert!(out.contains("vantage: "));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn trace_single_target_prints_hops() {
+    let path = scenario_file("trace");
+    let json = std::fs::read_to_string(&path).unwrap();
+    let scenario = topogen::io::from_json(&json).unwrap();
+    let target = scenario.targets[0].to_string();
+    let out =
+        run(&["trace", path.to_str().unwrap(), "--target", &target]).unwrap();
+    assert!(out.contains(&format!("tracenet to {target}")));
+    assert!(out.contains("hops"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn trace_json_output_parses_and_reaches() {
+    let path = scenario_file("trace-json");
+    let json = std::fs::read_to_string(&path).unwrap();
+    let scenario = topogen::io::from_json(&json).unwrap();
+    let target = scenario.targets[0].to_string();
+    let out = run(&[
+        "trace",
+        path.to_str().unwrap(),
+        "--target",
+        &target,
+        "--json",
+    ])
+    .unwrap();
+    let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    assert_eq!(v[0]["destination"], target);
+    assert_eq!(v[0]["reached"], true);
+    assert!(!v[0]["hops"].as_array().unwrap().is_empty());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn traceroute_ping_and_sweep_work() {
+    let path = scenario_file("baselines");
+    let json = std::fs::read_to_string(&path).unwrap();
+    let scenario = topogen::io::from_json(&json).unwrap();
+    let target = scenario.targets[0].to_string();
+    let p = path.to_str().unwrap();
+
+    let tr = run(&["traceroute", p, "--target", &target, "--paris"]).unwrap();
+    assert!(tr.contains(&format!("traceroute to {target}")));
+
+    let ping = run(&["ping", p, "--target", &target]).unwrap();
+    assert!(ping.contains("3/3 replies"), "{ping}");
+
+    // Sweep the target's /30.
+    let prefix = format!(
+        "{}/30",
+        inet::Prefix::containing(scenario.targets[0], 30).network()
+    );
+    let sweep = run(&["sweep", p, "--prefix", &prefix]).unwrap();
+    assert!(sweep.contains("alive"));
+    assert!(sweep.contains(&target));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn eval_scores_against_ground_truth() {
+    let path = scenario_file("eval");
+    let out = run(&["eval", path.to_str().unwrap()]).unwrap();
+    assert!(out.contains("== random =="));
+    assert!(out.contains("exact match:"));
+    assert!(out.contains("collected"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    let err = run(&["trace", "/nonexistent.json", "--target", "1.2.3.4"]).unwrap_err();
+    assert!(err.contains("/nonexistent.json"));
+
+    let path = scenario_file("errors");
+    let p = path.to_str().unwrap();
+    let err = run(&["trace", p]).unwrap_err();
+    assert!(err.contains("--target"), "{err}");
+    let err = run(&["trace", p, "--target", "1.2.3.4", "--vantage", "nope"]).unwrap_err();
+    assert!(err.contains("no vantage"), "{err}");
+    let err = run(&["trace", p, "--target", "1.2.3.4", "--protocol", "gre"]).unwrap_err();
+    assert!(err.contains("unknown protocol"), "{err}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn map_emits_graphviz_dot() {
+    let path = scenario_file("map");
+    let out = run(&["map", path.to_str().unwrap()]).unwrap();
+    assert!(out.starts_with("graph subnets {"));
+    assert!(out.contains("--"), "has adjacencies");
+    assert!(out.trim_end().ends_with('}'));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn crossval_requires_three_vantages() {
+    let path = scenario_file("crossval");
+    // random scenarios have one vantage: a clear error.
+    let err = run(&["crossval", path.to_str().unwrap()]).unwrap_err();
+    assert!(err.contains("3 vantage points"), "{err}");
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,241 @@
+//! Session output: hop records and the trace report.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use inet::Addr;
+
+use crate::observed::ObservedSubnet;
+
+/// Probes spent in each phase of one hop (§3.6's cost model: initial cost
+/// = trace collection + positioning, intermediate/final cost =
+/// exploration).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCost {
+    /// Wire probes spent obtaining the hop address (trace collection).
+    pub trace: u64,
+    /// Wire probes spent in subnet positioning (Algorithm 2).
+    pub position: u64,
+    /// Wire probes spent in subnet exploration (Algorithm 1 + H2–H8).
+    pub explore: u64,
+}
+
+impl PhaseCost {
+    /// Total wire probes of the hop.
+    pub fn total(&self) -> u64 {
+        self.trace + self.position + self.explore
+    }
+}
+
+/// What one hop of a tracenet session produced.
+#[derive(Clone, Debug)]
+pub struct HopRecord {
+    /// Hop number (1-based TTL).
+    pub hop: u8,
+    /// The trace-collected address, `None` for an anonymous hop.
+    pub addr: Option<Addr>,
+    /// Whether this hop's reply was a direct reply from the destination
+    /// (trace complete).
+    pub reached_destination: bool,
+    /// The hop address already belonged to a subnet collected at an
+    /// earlier hop, so exploration was skipped.
+    pub repeated: bool,
+    /// The subnet collected at this hop, if any.
+    pub subnet: Option<ObservedSubnet>,
+    /// Probe accounting for this hop.
+    pub cost: PhaseCost,
+}
+
+/// The full result of one tracenet session — the paper's "sequence of
+/// subnets between the source and destination hosts".
+#[derive(Clone, Debug)]
+pub struct TraceReport {
+    /// The vantage address the session probed from.
+    pub vantage: Addr,
+    /// The trace target.
+    pub destination: Addr,
+    /// Whether the destination answered before `max_ttl`.
+    pub destination_reached: bool,
+    /// Per-hop results.
+    pub hops: Vec<HopRecord>,
+    /// Total wire probes spent by the session.
+    pub total_probes: u64,
+    /// Probes answered from the merge cache instead of the wire.
+    pub cache_hits: u64,
+}
+
+impl TraceReport {
+    /// Every distinct address the session discovered: trace addresses
+    /// plus all subnet members. This is the paper's headline claim (1):
+    /// "discovers new IP addresses that are missed by traceroute".
+    pub fn all_addresses(&self) -> BTreeSet<Addr> {
+        let mut set = BTreeSet::new();
+        for hop in &self.hops {
+            if let Some(a) = hop.addr {
+                set.insert(a);
+            }
+            if let Some(s) = &hop.subnet {
+                set.extend(s.record.members().iter().copied());
+            }
+        }
+        set
+    }
+
+    /// The collected subnets in hop order (repeated hops excluded).
+    pub fn subnets(&self) -> impl Iterator<Item = &ObservedSubnet> {
+        self.hops.iter().filter_map(|h| h.subnet.as_ref())
+    }
+
+    /// Addresses that were placed into a subnet with at least two members
+    /// — the "subnetized" population of the paper's Figure 7.
+    pub fn subnetized_addresses(&self) -> BTreeSet<Addr> {
+        let mut set = BTreeSet::new();
+        for s in self.subnets() {
+            if s.record.len() >= 2 {
+                set.extend(s.record.members().iter().copied());
+            }
+        }
+        set
+    }
+
+    /// Trace addresses for which no subnet larger than a /32 singleton
+    /// was found — Figure 7's "un-subnetized" population.
+    pub fn unsubnetized_addresses(&self) -> BTreeSet<Addr> {
+        let subnetized = self.subnetized_addresses();
+        self.hops
+            .iter()
+            .filter_map(|h| h.addr)
+            .filter(|a| !subnetized.contains(a))
+            .collect()
+    }
+}
+
+impl fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "tracenet to {} from {}", self.destination, self.vantage)?;
+        for hop in &self.hops {
+            let addr = match hop.addr {
+                Some(a) => a.to_string(),
+                None => "*".to_string(),
+            };
+            write!(f, "{:3}  {addr:<17}", hop.hop)?;
+            match (&hop.subnet, hop.repeated) {
+                (Some(s), _) => write!(f, " {s}")?,
+                (None, true) => write!(f, " (subnet already collected)")?,
+                (None, false) => write!(f, " (no subnet)")?,
+            }
+            if hop.reached_destination {
+                write!(f, "  <- destination")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "{} hops, {} addresses, {} probes ({} cache hits)",
+            self.hops.len(),
+            self.all_addresses().len(),
+            self.total_probes,
+            self.cache_hits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observed::StopCause;
+    use inet::{Prefix, SubnetRecord};
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn sample_subnet(prefix: &str, members: &[&str], pivot: &str) -> ObservedSubnet {
+        ObservedSubnet {
+            record: SubnetRecord::new(
+                prefix.parse::<Prefix>().unwrap(),
+                members.iter().map(|m| a(m)),
+            )
+            .unwrap(),
+            pivot: a(pivot),
+            pivot_dist: 2,
+            contra_pivot: None,
+            ingress: None,
+            on_path: true,
+            stop: StopCause::Underutilized,
+        }
+    }
+
+    fn sample_report() -> TraceReport {
+        TraceReport {
+            vantage: a("10.0.0.1"),
+            destination: a("10.0.9.9"),
+            destination_reached: true,
+            hops: vec![
+                HopRecord {
+                    hop: 1,
+                    addr: Some(a("10.0.1.1")),
+                    reached_destination: false,
+                    repeated: false,
+                    subnet: Some(sample_subnet(
+                        "10.0.1.0/31",
+                        &["10.0.1.0", "10.0.1.1"],
+                        "10.0.1.1",
+                    )),
+                    cost: PhaseCost { trace: 1, position: 3, explore: 4 },
+                },
+                HopRecord {
+                    hop: 2,
+                    addr: None,
+                    reached_destination: false,
+                    repeated: false,
+                    subnet: None,
+                    cost: PhaseCost { trace: 2, position: 0, explore: 0 },
+                },
+                HopRecord {
+                    hop: 3,
+                    addr: Some(a("10.0.9.9")),
+                    reached_destination: true,
+                    repeated: false,
+                    subnet: Some(sample_subnet("10.0.9.8/31", &["10.0.9.9"], "10.0.9.9")),
+                    cost: PhaseCost { trace: 1, position: 2, explore: 2 },
+                },
+            ],
+            total_probes: 15,
+            cache_hits: 4,
+        }
+    }
+
+    #[test]
+    fn all_addresses_unions_trace_and_members() {
+        let r = sample_report();
+        let addrs = r.all_addresses();
+        assert!(addrs.contains(&a("10.0.1.0")), "subnet member beyond trace ips");
+        assert!(addrs.contains(&a("10.0.9.9")));
+        assert_eq!(addrs.len(), 3);
+    }
+
+    #[test]
+    fn subnetized_vs_unsubnetized_split() {
+        let r = sample_report();
+        // The /31 with two members is subnetized; the destination's
+        // singleton is not.
+        assert!(r.subnetized_addresses().contains(&a("10.0.1.1")));
+        assert!(r.unsubnetized_addresses().contains(&a("10.0.9.9")));
+        assert!(!r.unsubnetized_addresses().contains(&a("10.0.1.1")));
+    }
+
+    #[test]
+    fn phase_cost_totals() {
+        let r = sample_report();
+        assert_eq!(r.hops[0].cost.total(), 8);
+    }
+
+    #[test]
+    fn display_shows_anonymous_and_destination() {
+        let text = sample_report().to_string();
+        assert!(text.contains("  *"), "anonymous hop rendered as *");
+        assert!(text.contains("<- destination"));
+        assert!(text.contains("10.0.1.0/31"));
+    }
+}

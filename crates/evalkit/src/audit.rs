@@ -1,0 +1,174 @@
+//! The §4.1.1 unresponsiveness audit.
+//!
+//! The paper does not take a subnet's deadness on faith: "After
+//! collecting the subnets we further probed every IP address within the
+//! address range of the missing and underestimated subnets to identify
+//! the unresponsive subnets." This module reproduces that step — the
+//! `miss∖unrs` and `undes∖unrs` rows of Tables 1–2 are *measured* by
+//! ping sweeps, not read from generator ground truth (which the tests
+//! then use as a cross-check).
+
+use inet::Prefix;
+use probe::Prober;
+use topogen::GtSubnet;
+use traceroute::ping_sweep;
+
+use crate::classify::{Classification, MatchClass};
+
+/// What the sweep found for one audited subnet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Responsiveness {
+    /// No address in the range answered: totally unresponsive ("behind
+    /// some firewall that filters out ICMP messages or configured not to
+    /// respond to any direct probe").
+    Total,
+    /// At most half of the range answered: partially unresponsive /
+    /// sparsely utilized — Algorithm 1's growth gate cannot be satisfied,
+    /// so the miss or underestimate "cannot be attributed as drawback of
+    /// tracenet".
+    Partial,
+    /// More than half of the range answered: the subnet was collectable;
+    /// a miss or underestimate here is tracenet's own.
+    Responsive,
+}
+
+/// One audited subnet.
+#[derive(Clone, Debug)]
+pub struct AuditEntry {
+    /// The audited (original) prefix.
+    pub prefix: Prefix,
+    /// Alive addresses found by the sweep.
+    pub alive: usize,
+    /// Probeable addresses in the range.
+    pub capacity: usize,
+    /// The verdict.
+    pub verdict: Responsiveness,
+}
+
+/// Sweeps one prefix and renders a verdict.
+pub fn audit_prefix<P: Prober>(prober: &mut P, prefix: Prefix) -> AuditEntry {
+    let alive = ping_sweep(prober, prefix).len();
+    let capacity = prefix.probe_addrs().len();
+    let verdict = if alive == 0 {
+        Responsiveness::Total
+    } else if alive * 2 <= capacity {
+        Responsiveness::Partial
+    } else {
+        Responsiveness::Responsive
+    };
+    AuditEntry { prefix, alive, capacity, verdict }
+}
+
+/// Audits every missing, underestimated or split subnet of a
+/// classification set and **relabels** its `unresponsive` flag from the
+/// measurement (replacing whatever the caller had) — exactly the
+/// paper's procedure. Exact, overestimated and merged subnets were
+/// observably alive and keep `unresponsive = false`.
+///
+/// Returns the audit log alongside the updated classifications.
+pub fn audit_classifications<P: Prober>(
+    prober: &mut P,
+    classifications: &mut [Classification],
+) -> Vec<AuditEntry> {
+    let mut log = Vec::new();
+    for c in classifications.iter_mut() {
+        match c.class {
+            MatchClass::Missing | MatchClass::Underestimated | MatchClass::Split => {
+                let entry = audit_prefix(prober, c.original);
+                c.unresponsive = entry.verdict != Responsiveness::Responsive;
+                log.push(entry);
+            }
+            MatchClass::Exact | MatchClass::Overestimated | MatchClass::Merged => {
+                c.unresponsive = false;
+            }
+        }
+    }
+    log
+}
+
+/// Cross-check helper: how often does the measured verdict agree with
+/// generator intent? (`GtSubnet::intent` ∈ {Filtered, Partial} should
+/// audit as non-Responsive.) Returns (agreements, total audited).
+pub fn audit_agreement(entries: &[AuditEntry], ground_truth: &[&GtSubnet]) -> (usize, usize) {
+    let mut agree = 0;
+    let mut total = 0;
+    for e in entries {
+        let Some(gt) = ground_truth.iter().find(|g| g.prefix == e.prefix) else {
+            continue;
+        };
+        total += 1;
+        let expected_unresponsive = matches!(
+            gt.intent,
+            topogen::SubnetIntent::Filtered | topogen::SubnetIntent::Partial
+        );
+        let measured_unresponsive = e.verdict != Responsiveness::Responsive;
+        if expected_unresponsive == measured_unresponsive {
+            agree += 1;
+        }
+    }
+    (agree, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet::Addr;
+    use probe::{ProbeOutcome, ScriptedProber};
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn scripted_range(alive: &[&str]) -> ScriptedProber {
+        let mut p = ScriptedProber::new(a("10.0.0.1"));
+        for addr in alive {
+            p.script(a(addr), 64, ProbeOutcome::DirectReply { from: a(addr) });
+        }
+        p
+    }
+
+    #[test]
+    fn verdicts_follow_the_half_rule() {
+        // /29 has 6 probeable addresses.
+        let prefix: Prefix = "10.0.2.0/29".parse().unwrap();
+
+        let mut p = scripted_range(&[]);
+        assert_eq!(audit_prefix(&mut p, prefix).verdict, Responsiveness::Total);
+
+        let mut p = scripted_range(&["10.0.2.1", "10.0.2.2", "10.0.2.3"]);
+        let e = audit_prefix(&mut p, prefix);
+        assert_eq!(e.verdict, Responsiveness::Partial);
+        assert_eq!((e.alive, e.capacity), (3, 6));
+
+        let mut p =
+            scripted_range(&["10.0.2.1", "10.0.2.2", "10.0.2.3", "10.0.2.4", "10.0.2.5"]);
+        assert_eq!(audit_prefix(&mut p, prefix).verdict, Responsiveness::Responsive);
+    }
+
+    #[test]
+    fn audit_relabels_only_miss_under_split() {
+        let mk = |class, prefix: &str| Classification {
+            original: prefix.parse().unwrap(),
+            collected: vec![],
+            class,
+            unresponsive: true, // deliberately wrong on purpose
+        };
+        let mut cls = vec![
+            mk(MatchClass::Exact, "10.0.0.0/30"),
+            mk(MatchClass::Missing, "10.0.2.0/29"),
+        ];
+        // The missing subnet's range is fully alive → tracenet's fault.
+        let mut p = scripted_range(&[
+            "10.0.2.1",
+            "10.0.2.2",
+            "10.0.2.3",
+            "10.0.2.4",
+            "10.0.2.5",
+            "10.0.2.6",
+        ]);
+        let log = audit_classifications(&mut p, &mut cls);
+        assert_eq!(log.len(), 1, "only the miss is audited");
+        assert!(!cls[0].unresponsive, "exact is alive by definition");
+        assert!(!cls[1].unresponsive, "alive range → genuine miss");
+    }
+}

@@ -1,0 +1,317 @@
+//! Matching collected subnets against ground truth — the row vocabulary
+//! of Tables 1 and 2.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use inet::{Prefix, SubnetRecord};
+use topogen::{GtSubnet, SubnetIntent};
+
+/// How a ground-truth subnet was collected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MatchClass {
+    /// Collected with exactly the original prefix (`exmt`).
+    Exact,
+    /// Not collected at all (`miss`).
+    Missing,
+    /// Collected strictly smaller than the original (`undes`).
+    Underestimated,
+    /// Collected strictly larger than the original (`ovres`).
+    Overestimated,
+    /// Collected as two or more disjoint pieces (`splt`).
+    Split,
+    /// Collected merged with a neighboring subnet (`merg`).
+    Merged,
+}
+
+impl MatchClass {
+    /// The table row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MatchClass::Exact => "exmt",
+            MatchClass::Missing => "miss",
+            MatchClass::Underestimated => "undes",
+            MatchClass::Overestimated => "ovres",
+            MatchClass::Split => "splt",
+            MatchClass::Merged => "merg",
+        }
+    }
+}
+
+/// The classification of one ground-truth subnet.
+#[derive(Clone, Debug)]
+pub struct Classification {
+    /// The original prefix (`s^o`).
+    pub original: Prefix,
+    /// The collected prefix(es) relevant to the match: empty for
+    /// missing, one for exact/under/over/merged, several for split.
+    pub collected: Vec<Prefix>,
+    /// The verdict.
+    pub class: MatchClass,
+    /// Whether the subnet was (partially or totally) unresponsive by
+    /// ground truth — the `∖unrs` splits of Tables 1–2.
+    pub unresponsive: bool,
+}
+
+/// Classifies every ground-truth subnet of one network against the
+/// collected set.
+///
+/// Following §4.1.1: an exact-prefix hit is `exmt`; pieces strictly
+/// inside the original are `undes` (one piece) or `splt` (several); a
+/// collected subnet strictly containing the original is `ovres`, unless
+/// it absorbed members of *other* ground-truth subnets that have no
+/// collected representation of their own, in which case the subnets are
+/// `merg`ed; nothing at all is `miss`.
+pub fn classify(ground_truth: &[&GtSubnet], collected: &[SubnetRecord]) -> Vec<Classification> {
+    let exact_by_prefix: BTreeMap<Prefix, &SubnetRecord> =
+        collected.iter().map(|c| (c.prefix(), c)).collect();
+
+    ground_truth
+        .iter()
+        .map(|gt| {
+            let unresponsive = gt.intent != SubnetIntent::Normal;
+            // 1. Exact prefix hit.
+            if exact_by_prefix.contains_key(&gt.prefix) {
+                return Classification {
+                    original: gt.prefix,
+                    collected: vec![gt.prefix],
+                    class: MatchClass::Exact,
+                    unresponsive,
+                };
+            }
+            // 2. Pieces strictly inside the original.
+            let pieces: Vec<Prefix> = collected
+                .iter()
+                .map(|c| c.prefix())
+                .filter(|&p| gt.prefix.covers(p) && p != gt.prefix)
+                .collect();
+            match pieces.len() {
+                1 => {
+                    return Classification {
+                        original: gt.prefix,
+                        collected: pieces,
+                        class: MatchClass::Underestimated,
+                        unresponsive,
+                    }
+                }
+                n if n >= 2 => {
+                    return Classification {
+                        original: gt.prefix,
+                        collected: pieces,
+                        class: MatchClass::Split,
+                        unresponsive,
+                    }
+                }
+                _ => {}
+            }
+            // 3. A collected subnet strictly containing the original.
+            if let Some(container) = collected
+                .iter()
+                .find(|c| c.prefix().covers(gt.prefix) && c.prefix() != gt.prefix)
+            {
+                // Did the container absorb members of a *different*
+                // ground-truth subnet? Then this is a merge.
+                let foreign = container
+                    .members()
+                    .iter()
+                    .any(|&m| !gt.prefix.contains(m));
+                let class =
+                    if foreign { MatchClass::Merged } else { MatchClass::Overestimated };
+                return Classification {
+                    original: gt.prefix,
+                    collected: vec![container.prefix()],
+                    class,
+                    unresponsive,
+                };
+            }
+            // 4. Nothing.
+            Classification {
+                original: gt.prefix,
+                collected: vec![],
+                class: MatchClass::Missing,
+                unresponsive,
+            }
+        })
+        .collect()
+}
+
+/// A Table 1/2-style matrix: one column per prefix length, the paper's
+/// nine rows.
+#[derive(Clone, Debug, Default)]
+pub struct SubnetTable {
+    lens: Vec<u8>,
+    rows: BTreeMap<&'static str, BTreeMap<u8, usize>>,
+}
+
+const ROW_ORDER: [&str; 9] =
+    ["orgl", "exmt", "miss", "miss\\unrs", "undes", "undes\\unrs", "ovres", "splt", "merg"];
+
+impl SubnetTable {
+    /// Builds the table from classifications.
+    pub fn build(classifications: &[Classification]) -> SubnetTable {
+        let mut lens: Vec<u8> = classifications.iter().map(|c| c.original.len()).collect();
+        lens.sort_unstable();
+        lens.dedup();
+        let mut table = SubnetTable { lens, rows: BTreeMap::new() };
+        for c in classifications {
+            let len = c.original.len();
+            table.bump("orgl", len);
+            let row: &'static str = match (c.class, c.unresponsive) {
+                (MatchClass::Exact, _) => "exmt",
+                (MatchClass::Missing, false) => "miss",
+                (MatchClass::Missing, true) => "miss\\unrs",
+                (MatchClass::Underestimated, false) | (MatchClass::Split, false) => "undes",
+                (MatchClass::Underestimated, true) | (MatchClass::Split, true) => "undes\\unrs",
+                (MatchClass::Overestimated, _) => "ovres",
+                (MatchClass::Merged, _) => "merg",
+            };
+            table.bump(row, len);
+            if matches!(c.class, MatchClass::Split) {
+                table.bump("splt", len);
+            }
+        }
+        table
+    }
+
+    fn bump(&mut self, row: &'static str, len: u8) {
+        *self.rows.entry(row).or_default().entry(len).or_insert(0) += 1;
+    }
+
+    /// Cell value.
+    pub fn get(&self, row: &str, len: u8) -> usize {
+        self.rows.get(row).and_then(|r| r.get(&len)).copied().unwrap_or(0)
+    }
+
+    /// Row total.
+    pub fn row_total(&self, row: &str) -> usize {
+        self.rows.get(row).map(|r| r.values().sum()).unwrap_or(0)
+    }
+
+    /// Exact-match rate over all subnets (the paper's
+    /// "including unresponsive" number).
+    pub fn exact_rate(&self) -> f64 {
+        self.row_total("exmt") as f64 / self.row_total("orgl") as f64
+    }
+
+    /// Exact-match rate excluding totally/partially unresponsive misses
+    /// and underestimations — the paper's second number ("excluding those
+    /// unresponsive subnets").
+    pub fn exact_rate_responsive(&self) -> f64 {
+        let excluded = self.row_total("miss\\unrs") + self.row_total("undes\\unrs");
+        let denom = self.row_total("orgl") - excluded;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.row_total("exmt") as f64 / denom as f64
+    }
+}
+
+impl fmt::Display for SubnetTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<12}", "")?;
+        for len in &self.lens {
+            write!(f, "{:>7}", format!("/{len}"))?;
+        }
+        writeln!(f, "{:>8}", "total")?;
+        for row in ROW_ORDER {
+            write!(f, "{row:<12}")?;
+            for len in &self.lens {
+                write!(f, "{:>7}", self.get(row, *len))?;
+            }
+            writeln!(f, "{:>8}", self.row_total(row))?;
+        }
+        writeln!(
+            f,
+            "exact match: {:.1}% (incl. unresponsive), {:.1}% (excl. unresponsive)",
+            100.0 * self.exact_rate(),
+            100.0 * self.exact_rate_responsive(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet::Addr;
+
+    fn gt(prefix: &str, members: &[&str], intent: SubnetIntent) -> GtSubnet {
+        GtSubnet {
+            prefix: prefix.parse().unwrap(),
+            members: members.iter().map(|m| m.parse().unwrap()).collect(),
+            intent,
+            network: "t".into(),
+        }
+    }
+
+    fn rec(prefix: &str, members: &[&str]) -> SubnetRecord {
+        SubnetRecord::new(
+            prefix.parse::<Prefix>().unwrap(),
+            members.iter().map(|m| m.parse::<Addr>().unwrap()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_and_missing() {
+        let g1 = gt("10.0.0.0/30", &["10.0.0.1", "10.0.0.2"], SubnetIntent::Normal);
+        let g2 = gt("10.0.1.0/30", &["10.0.1.1"], SubnetIntent::Filtered);
+        let collected = vec![rec("10.0.0.0/30", &["10.0.0.1", "10.0.0.2"])];
+        let cls = classify(&[&g1, &g2], &collected);
+        assert_eq!(cls[0].class, MatchClass::Exact);
+        assert_eq!(cls[1].class, MatchClass::Missing);
+        assert!(cls[1].unresponsive);
+    }
+
+    #[test]
+    fn underestimated_and_split() {
+        let g = gt("10.0.0.0/28", &["10.0.0.1"], SubnetIntent::Partial);
+        let one_piece = vec![rec("10.0.0.0/30", &["10.0.0.1", "10.0.0.2"])];
+        assert_eq!(classify(&[&g], &one_piece)[0].class, MatchClass::Underestimated);
+
+        let two_pieces = vec![
+            rec("10.0.0.0/30", &["10.0.0.1"]),
+            rec("10.0.0.8/30", &["10.0.0.9"]),
+        ];
+        let c = classify(&[&g], &two_pieces);
+        assert_eq!(c[0].class, MatchClass::Split);
+        assert_eq!(c[0].collected.len(), 2);
+    }
+
+    #[test]
+    fn overestimated_vs_merged() {
+        let g = gt("10.0.0.0/31", &["10.0.0.0", "10.0.0.1"], SubnetIntent::Normal);
+        // Container with only this subnet's addresses: over-estimate.
+        let over = vec![rec("10.0.0.0/30", &["10.0.0.0", "10.0.0.1"])];
+        assert_eq!(classify(&[&g], &over)[0].class, MatchClass::Overestimated);
+        // Container that absorbed a neighbor's address: merged.
+        let merged = vec![rec("10.0.0.0/30", &["10.0.0.0", "10.0.0.1", "10.0.0.2"])];
+        assert_eq!(classify(&[&g], &merged)[0].class, MatchClass::Merged);
+    }
+
+    #[test]
+    fn table_reproduces_row_arithmetic() {
+        let subnets = [gt("10.0.0.0/30", &["10.0.0.1"], SubnetIntent::Normal),
+            gt("10.0.1.0/30", &["10.0.1.1"], SubnetIntent::Normal),
+            gt("10.0.2.0/30", &["10.0.2.1"], SubnetIntent::Filtered),
+            gt("10.1.0.0/29", &["10.1.0.1"], SubnetIntent::Partial)];
+        let collected = vec![
+            rec("10.0.0.0/30", &["10.0.0.1", "10.0.0.2"]),
+            rec("10.0.1.0/30", &["10.0.1.1", "10.0.1.2"]),
+            rec("10.1.0.0/30", &["10.1.0.1", "10.1.0.2"]),
+        ];
+        let refs: Vec<&GtSubnet> = subnets.iter().collect();
+        let cls = classify(&refs, &collected);
+        let table = SubnetTable::build(&cls);
+        assert_eq!(table.get("orgl", 30), 3);
+        assert_eq!(table.get("exmt", 30), 2);
+        assert_eq!(table.get("miss\\unrs", 30), 1);
+        assert_eq!(table.get("undes\\unrs", 29), 1);
+        assert_eq!(table.row_total("orgl"), 4);
+        // 2 exact of 4 total; excluding the 2 unresponsive rows: 2 of 2.
+        assert!((table.exact_rate() - 0.5).abs() < 1e-9);
+        assert!((table.exact_rate_responsive() - 1.0).abs() < 1e-9);
+        let text = table.to_string();
+        assert!(text.contains("exmt"));
+        assert!(text.contains("exact match: 50.0%"));
+    }
+}

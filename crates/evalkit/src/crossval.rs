@@ -1,0 +1,168 @@
+//! Three-vantage cross-validation — Figure 6 and the §4.2 agreement
+//! rates.
+
+use std::collections::BTreeSet;
+
+use inet::Prefix;
+
+/// The seven-region Venn partition of three collected-subnet sets, plus
+/// the derived agreement rates. Region names follow Figure 6 with
+/// vantages A, B, C.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VennPartition {
+    /// Subnets seen only by A.
+    pub only_a: usize,
+    /// Subnets seen only by B.
+    pub only_b: usize,
+    /// Subnets seen only by C.
+    pub only_c: usize,
+    /// Seen by A and B but not C.
+    pub ab: usize,
+    /// Seen by A and C but not B.
+    pub ac: usize,
+    /// Seen by B and C but not A.
+    pub bc: usize,
+    /// Seen by all three.
+    pub abc: usize,
+}
+
+impl VennPartition {
+    /// Computes the partition over three prefix sets.
+    pub fn compute(
+        a: &BTreeSet<Prefix>,
+        b: &BTreeSet<Prefix>,
+        c: &BTreeSet<Prefix>,
+    ) -> VennPartition {
+        let mut v = VennPartition {
+            only_a: 0,
+            only_b: 0,
+            only_c: 0,
+            ab: 0,
+            ac: 0,
+            bc: 0,
+            abc: 0,
+        };
+        let all: BTreeSet<&Prefix> = a.iter().chain(b).chain(c).collect();
+        for p in all {
+            match (a.contains(p), b.contains(p), c.contains(p)) {
+                (true, false, false) => v.only_a += 1,
+                (false, true, false) => v.only_b += 1,
+                (false, false, true) => v.only_c += 1,
+                (true, true, false) => v.ab += 1,
+                (true, false, true) => v.ac += 1,
+                (false, true, true) => v.bc += 1,
+                (true, true, true) => v.abc += 1,
+                (false, false, false) => unreachable!("p came from one of the sets"),
+            }
+        }
+        v
+    }
+
+    /// Total distinct subnets.
+    pub fn total(&self) -> usize {
+        self.only_a + self.only_b + self.only_c + self.ab + self.ac + self.bc + self.abc
+    }
+
+    /// Per-vantage set sizes (|A|, |B|, |C|).
+    pub fn set_sizes(&self) -> (usize, usize, usize) {
+        (
+            self.only_a + self.ab + self.ac + self.abc,
+            self.only_b + self.ab + self.bc + self.abc,
+            self.only_c + self.ac + self.bc + self.abc,
+        )
+    }
+
+    /// §4.2: "around 60% of subnets observed by all three vantage
+    /// points" — the fraction of each vantage's subnets that every
+    /// vantage saw, averaged.
+    pub fn all_three_rate(&self) -> f64 {
+        let (sa, sb, sc) = self.set_sizes();
+        let rates = [
+            self.abc as f64 / sa.max(1) as f64,
+            self.abc as f64 / sb.max(1) as f64,
+            self.abc as f64 / sc.max(1) as f64,
+        ];
+        rates.iter().sum::<f64>() / 3.0
+    }
+
+    /// §4.2: "roughly 80% of the collected subnets by a particular
+    /// vantage point is also verified by at least one other vantage
+    /// point" — averaged across vantages.
+    pub fn verified_by_another_rate(&self) -> f64 {
+        let (sa, sb, sc) = self.set_sizes();
+        let shared_a = self.ab + self.ac + self.abc;
+        let shared_b = self.ab + self.bc + self.abc;
+        let shared_c = self.ac + self.bc + self.abc;
+        let rates = [
+            shared_a as f64 / sa.max(1) as f64,
+            shared_b as f64 / sb.max(1) as f64,
+            shared_c as f64 / sc.max(1) as f64,
+        ];
+        rates.iter().sum::<f64>() / 3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(prefixes: &[&str]) -> BTreeSet<Prefix> {
+        prefixes.iter().map(|p| p.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn partition_counts_every_region() {
+        let a = set(&["10.0.0.0/30", "10.0.1.0/30", "10.0.2.0/30", "10.0.4.0/30"]);
+        let b = set(&["10.0.0.0/30", "10.0.1.0/30", "10.0.3.0/30"]);
+        let c = set(&["10.0.0.0/30", "10.0.2.0/30", "10.0.3.0/30"]);
+        let v = VennPartition::compute(&a, &b, &c);
+        assert_eq!(v.abc, 1); // 10.0.0.0/30
+        assert_eq!(v.ab, 1); // 10.0.1.0/30
+        assert_eq!(v.ac, 1); // 10.0.2.0/30
+        assert_eq!(v.bc, 1); // 10.0.3.0/30
+        assert_eq!(v.only_a, 1); // 10.0.4.0/30
+        assert_eq!(v.only_b, 0);
+        assert_eq!(v.only_c, 0);
+        assert_eq!(v.total(), 5);
+        assert_eq!(v.set_sizes(), (4, 3, 3));
+    }
+
+    #[test]
+    fn identical_sets_agree_fully() {
+        let a = set(&["10.0.0.0/30", "10.0.1.0/31"]);
+        let v = VennPartition::compute(&a, &a, &a);
+        assert_eq!(v.abc, 2);
+        assert_eq!(v.all_three_rate(), 1.0);
+        assert_eq!(v.verified_by_another_rate(), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_agree_never() {
+        let a = set(&["10.0.0.0/30"]);
+        let b = set(&["10.0.1.0/30"]);
+        let c = set(&["10.0.2.0/30"]);
+        let v = VennPartition::compute(&a, &b, &c);
+        assert_eq!(v.all_three_rate(), 0.0);
+        assert_eq!(v.verified_by_another_rate(), 0.0);
+        assert_eq!(v.total(), 3);
+    }
+
+    #[test]
+    fn figure6_arithmetic_from_the_paper() {
+        // Reconstruct Figure 6's published region counts and check the
+        // quoted ~60% / ~80% rates emerge from our formulas.
+        let v = VennPartition {
+            only_a: 1818,  // Rice only
+            only_b: 2746,  // UMass only
+            only_c: 2420,  // UOregon only
+            ab: 1525,      // Rice ∩ UMass
+            ac: 1431,      // Rice ∩ UOregon
+            bc: 2310,      // UMass ∩ UOregon
+            abc: 6342,
+        };
+        let all3 = v.all_three_rate();
+        let any = v.verified_by_another_rate();
+        assert!((0.50..0.65).contains(&all3), "all-three rate {all3}");
+        assert!((0.75..0.88).contains(&any), "verified-by-another rate {any}");
+    }
+}

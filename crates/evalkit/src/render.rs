@@ -1,0 +1,83 @@
+//! Plain-text rendering helpers for the experiment binaries.
+
+/// Renders a fixed-width table: a header row plus data rows. Column
+/// widths adapt to the longest cell.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        line
+    };
+    let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a log-scale bar for a count (Figure 9 is plotted in log
+/// scale): one `#` per factor-of-√10 above 1.
+pub fn log_bar(count: usize) -> String {
+    if count == 0 {
+        return String::new();
+    }
+    let n = (2.0 * (count as f64).log10()).round().max(1.0) as usize;
+    "#".repeat(n)
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["isp", "subnets"],
+            &[
+                vec!["sprintlink".into(), "4482".into()],
+                vec!["ntt".into(), "9".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("isp"));
+        assert!(lines[2].ends_with("4482"));
+        assert!(lines[3].ends_with("   9"));
+    }
+
+    #[test]
+    fn log_bar_grows_slowly() {
+        assert_eq!(log_bar(0), "");
+        assert_eq!(log_bar(1), "#");
+        assert!(log_bar(100).len() > log_bar(10).len());
+        assert!(log_bar(10000).len() <= 10);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.737), "73.7%");
+    }
+}

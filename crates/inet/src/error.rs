@@ -1,0 +1,36 @@
+//! Parse errors for addresses and prefixes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing an [`Addr`](crate::Addr) or
+/// [`Prefix`](crate::Prefix) from text fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The dotted-quad address portion is malformed.
+    BadAddress,
+    /// The `/len` portion is missing, not a number, or greater than 32.
+    BadPrefixLen,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadAddress => write!(f, "malformed IPv4 address"),
+            ParseError::BadPrefixLen => write!(f, "malformed prefix length"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(ParseError::BadAddress.to_string(), "malformed IPv4 address");
+        assert_eq!(ParseError::BadPrefixLen.to_string(), "malformed prefix length");
+    }
+}

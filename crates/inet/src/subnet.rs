@@ -1,0 +1,206 @@
+//! The [`SubnetRecord`] type: a subnet with its known member interfaces.
+
+use std::fmt;
+
+use crate::{Addr, Prefix};
+
+/// A subnet together with the set of interface addresses known to live on
+/// it.
+///
+/// Both ground-truth subnets (from a topology definition) and observed
+/// subnets (collected by tracenet) are represented this way, which is what
+/// lets the evaluation crate compare them directly.
+///
+/// Members are kept sorted and deduplicated; every member is guaranteed to
+/// fall inside the prefix.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SubnetRecord {
+    prefix: Prefix,
+    members: Vec<Addr>,
+}
+
+impl SubnetRecord {
+    /// Creates an empty record for `prefix`.
+    pub fn empty(prefix: Prefix) -> Self {
+        SubnetRecord { prefix, members: Vec::new() }
+    }
+
+    /// Creates a record from a prefix and members.
+    ///
+    /// Members are sorted and deduplicated. Returns `None` if any member
+    /// lies outside the prefix.
+    pub fn new(prefix: Prefix, members: impl IntoIterator<Item = Addr>) -> Option<Self> {
+        let mut members: Vec<Addr> = members.into_iter().collect();
+        if members.iter().any(|&m| !prefix.contains(m)) {
+            return None;
+        }
+        members.sort_unstable();
+        members.dedup();
+        Some(SubnetRecord { prefix, members })
+    }
+
+    /// The subnet prefix.
+    pub fn prefix(&self) -> Prefix {
+        self.prefix
+    }
+
+    /// The known member interface addresses, sorted ascending.
+    pub fn members(&self) -> &[Addr] {
+        &self.members
+    }
+
+    /// Number of known members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether no member is known.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `addr` is a known member.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.members.binary_search(&addr).is_ok()
+    }
+
+    /// Adds a member, keeping the set sorted. Returns `false` (and does
+    /// nothing) if the address is outside the prefix or already present.
+    pub fn insert(&mut self, addr: Addr) -> bool {
+        if !self.prefix.contains(addr) {
+            return false;
+        }
+        match self.members.binary_search(&addr) {
+            Ok(_) => false,
+            Err(i) => {
+                self.members.insert(i, addr);
+                true
+            }
+        }
+    }
+
+    /// Shrinks the record to `prefix`, dropping members that fall outside.
+    ///
+    /// This is the *stop-and-shrink* operation of heuristic H1: when a
+    /// candidate address breaks a heuristic, the grown subnet reverts to its
+    /// last known valid prefix and "all interfaces conforming `S^p` but not
+    /// `S^(p+1)`" are omitted.
+    ///
+    /// # Panics
+    /// Panics if `prefix` does not cover at least one existing member's
+    /// position, i.e. if it is unrelated to the current prefix.
+    pub fn shrink_to(&mut self, prefix: Prefix) {
+        assert!(
+            self.prefix.covers(prefix),
+            "shrink target {prefix} is not inside {}",
+            self.prefix
+        );
+        self.prefix = prefix;
+        self.members.retain(|&m| prefix.contains(m));
+    }
+
+    /// Utilization ratio: known members over the prefix's capacity.
+    ///
+    /// Algorithm 1 (lines 19–21) stops growing when a /29-or-larger subnet
+    /// is at most half utilized.
+    pub fn utilization(&self) -> f64 {
+        self.members.len() as f64 / self.prefix.size() as f64
+    }
+
+    /// Whether the record contains a boundary (network/broadcast) address
+    /// of its own prefix — the trigger for heuristic H9.
+    pub fn has_boundary_member(&self) -> bool {
+        self.members.iter().any(|&m| self.prefix.is_boundary(m))
+    }
+}
+
+impl fmt::Debug for SubnetRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:?}", self.prefix, self.members)
+    }
+}
+
+impl fmt::Display for SubnetRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} members)", self.prefix, self.members.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn new_validates_membership() {
+        assert!(SubnetRecord::new(p("10.0.0.0/30"), [a("10.0.0.1"), a("10.0.0.2")]).is_some());
+        assert!(SubnetRecord::new(p("10.0.0.0/30"), [a("10.0.0.4")]).is_none());
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let s =
+            SubnetRecord::new(p("10.0.0.0/29"), [a("10.0.0.3"), a("10.0.0.1"), a("10.0.0.3")])
+                .unwrap();
+        assert_eq!(s.members(), &[a("10.0.0.1"), a("10.0.0.3")]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn insert_respects_prefix_and_uniqueness() {
+        let mut s = SubnetRecord::empty(p("10.0.0.0/30"));
+        assert!(s.is_empty());
+        assert!(s.insert(a("10.0.0.2")));
+        assert!(s.insert(a("10.0.0.1")));
+        assert!(!s.insert(a("10.0.0.1")), "duplicate insert must be rejected");
+        assert!(!s.insert(a("10.0.0.5")), "out-of-prefix insert must be rejected");
+        assert_eq!(s.members(), &[a("10.0.0.1"), a("10.0.0.2")]);
+        assert!(s.contains(a("10.0.0.2")));
+        assert!(!s.contains(a("10.0.0.3")));
+    }
+
+    #[test]
+    fn shrink_drops_outsiders() {
+        let mut s = SubnetRecord::new(
+            p("10.0.0.0/29"),
+            [a("10.0.0.1"), a("10.0.0.2"), a("10.0.0.5"), a("10.0.0.6")],
+        )
+        .unwrap();
+        s.shrink_to(p("10.0.0.0/30"));
+        assert_eq!(s.prefix(), p("10.0.0.0/30"));
+        assert_eq!(s.members(), &[a("10.0.0.1"), a("10.0.0.2")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not inside")]
+    fn shrink_to_unrelated_prefix_panics() {
+        let mut s = SubnetRecord::empty(p("10.0.0.0/30"));
+        s.shrink_to(p("10.0.0.8/30"));
+    }
+
+    #[test]
+    fn utilization_and_boundary() {
+        let s = SubnetRecord::new(
+            p("10.0.0.0/29"),
+            [a("10.0.0.1"), a("10.0.0.2"), a("10.0.0.3"), a("10.0.0.4")],
+        )
+        .unwrap();
+        assert_eq!(s.utilization(), 0.5);
+        assert!(!s.has_boundary_member());
+
+        let s = SubnetRecord::new(p("10.0.0.0/29"), [a("10.0.0.0")]).unwrap();
+        assert!(s.has_boundary_member());
+
+        // /31 never has boundary members.
+        let s = SubnetRecord::new(p("10.0.0.0/31"), [a("10.0.0.0"), a("10.0.0.1")]).unwrap();
+        assert!(!s.has_boundary_member());
+        assert_eq!(s.utilization(), 1.0);
+    }
+}

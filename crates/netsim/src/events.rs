@@ -1,0 +1,93 @@
+//! Engine event log: what happened to an injected packet, for tests and
+//! debugging.
+
+use inet::Addr;
+
+use crate::topology::RouterId;
+
+/// Why an injected probe produced no reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SilenceReason {
+    /// The source address of the injected packet is not an interface of
+    /// any host in the topology.
+    UnknownSource,
+    /// No subnet covers the destination address; the packet fell off the
+    /// routed universe.
+    NoRoute,
+    /// The destination subnet is behind a filtering firewall.
+    Filtered,
+    /// The destination address lies in a known subnet but is unassigned,
+    /// and the delivering router is configured not to send Host
+    /// Unreachable.
+    Unassigned,
+    /// The packet was delivered but the interface/owner does not respond
+    /// (unresponsive interface, nil policy, or protocol not answered).
+    PolicySilence,
+    /// TTL expired at a router that does not emit TTL-exceeded for this
+    /// protocol (or is nil-configured).
+    TtlExpiredSilently,
+    /// A reply was due but the router's ICMP rate limiter had no token.
+    RateLimited,
+    /// The packet could not be decoded as a supported probe.
+    Malformed,
+}
+
+/// One step in a packet's walk through the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Packet arrived at a router with the given remaining TTL (before
+    /// decrement).
+    Arrived {
+        /// The router reached.
+        at: RouterId,
+        /// TTL on arrival.
+        ttl: u8,
+    },
+    /// Router forwarded the packet toward the next hop.
+    Forwarded {
+        /// The forwarding router.
+        from: RouterId,
+        /// The chosen next hop.
+        to: RouterId,
+    },
+    /// TTL reached zero at this router.
+    TtlExpired {
+        /// Where the packet died.
+        at: RouterId,
+    },
+    /// Packet was delivered (destination address owned here, or final
+    /// subnet reached).
+    Delivered {
+        /// The delivering router.
+        at: RouterId,
+    },
+    /// A reply packet was emitted with this source address.
+    Replied {
+        /// The responding router.
+        from: RouterId,
+        /// The reply's source address.
+        src: Addr,
+    },
+    /// The walk ended silently.
+    Dropped {
+        /// Why nothing came back.
+        reason: SilenceReason,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_comparable() {
+        assert_eq!(
+            Event::Dropped { reason: SilenceReason::NoRoute },
+            Event::Dropped { reason: SilenceReason::NoRoute }
+        );
+        assert_ne!(
+            Event::Dropped { reason: SilenceReason::NoRoute },
+            Event::Dropped { reason: SilenceReason::Filtered }
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Router response configuration — the paper's §3.1(iii).
+//!
+//! > "routers on the Internet are configured with five types of response
+//! > policies: *nil* interface routers are configured not to respond to any
+//! > probe packet; *probed* interface routers respond with the address of
+//! > the probed interface; *incoming* interface routers respond with the
+//! > address of the interface through which the probe packet has entered
+//! > into the router; *shortest-path* interface routers respond with the
+//! > address of the interface that has the shortest path from the router
+//! > back to the probe originator; and *default* interface routers respond
+//! > with a pre-designated default IP address regardless of the interface
+//! > being probed."
+
+use inet::Addr;
+use wire::Protocol;
+
+/// How a router chooses the source address of its reply — or whether it
+/// replies at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResponsePolicy {
+    /// Never respond.
+    Nil,
+    /// Respond with the probed interface's address. Only meaningful for
+    /// direct probes: "a router cannot be configured as probed interface
+    /// router for indirect queries" (§3.1) — the engine treats `Probed` on
+    /// an indirect reply as `Incoming`.
+    Probed,
+    /// Respond with the address of the interface the probe arrived on.
+    Incoming,
+    /// Respond with the address of the interface on the shortest path back
+    /// to the probe originator.
+    ShortestPath,
+    /// Respond with a fixed, pre-designated address.
+    Default(Addr),
+}
+
+/// Which probe protocols a router answers at all.
+///
+/// The paper's Table 3 experiment rests on routers being far more willing
+/// to answer ICMP than UDP, and barely answering TCP; this is where that
+/// willingness is configured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProtoSet {
+    /// Answer ICMP probes.
+    pub icmp: bool,
+    /// Answer UDP probes (with ICMP Port Unreachable on delivery).
+    pub udp: bool,
+    /// Answer TCP probes (with RST on delivery).
+    pub tcp: bool,
+}
+
+impl ProtoSet {
+    /// Answers every protocol.
+    pub const ALL: ProtoSet = ProtoSet { icmp: true, udp: true, tcp: true };
+    /// Answers nothing.
+    pub const NONE: ProtoSet = ProtoSet { icmp: false, udp: false, tcp: false };
+    /// Answers ICMP only — the most common core-router stance.
+    pub const ICMP_ONLY: ProtoSet = ProtoSet { icmp: true, udp: false, tcp: false };
+    /// Answers ICMP and UDP but not TCP.
+    pub const NO_TCP: ProtoSet = ProtoSet { icmp: true, udp: true, tcp: false };
+
+    /// Whether `proto` is answered.
+    pub const fn allows(self, proto: Protocol) -> bool {
+        match proto {
+            Protocol::Icmp => self.icmp,
+            Protocol::Udp => self.udp,
+            Protocol::Tcp => self.tcp,
+        }
+    }
+}
+
+/// ICMP-generation rate limiting: a token bucket refilled over the
+/// engine's probe-tick clock.
+///
+/// §4.2: "routers or ISPs regulate their responsiveness to probes based on
+/// the traffic load or any other rate limiting policies."
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Bucket capacity (burst size), in replies.
+    pub capacity: u32,
+    /// One token is refilled every `refill_every` engine ticks.
+    pub refill_every: u64,
+}
+
+/// How a router spreads traffic over an ECMP next-hop set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LbMode {
+    /// Hash of the flow key — stable for a flow (the common case).
+    #[default]
+    PerFlow,
+    /// Round-robin per packet — the pathological case for traceroute.
+    PerPacket,
+}
+
+/// Complete response configuration of one router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Reply-source policy for direct probes (probe delivered to one of
+    /// this router's own addresses).
+    pub direct: ResponsePolicy,
+    /// Reply-source policy for indirect probes (TTL expired here).
+    pub indirect: ResponsePolicy,
+    /// Protocols answered when the probe is *direct*.
+    pub direct_protos: ProtoSet,
+    /// Protocols whose TTL expiry triggers a TTL-exceeded reply.
+    ///
+    /// Real routers generate ICMP errors for expiring packets of any
+    /// protocol; selective silence here models protocol-dependent ICMP
+    /// generation suppression.
+    pub indirect_protos: ProtoSet,
+    /// Optional ICMP rate limiting applied to every reply this router
+    /// generates.
+    pub rate_limit: Option<RateLimit>,
+    /// Load-balancing mode over ECMP sets.
+    pub lb: LbMode,
+    /// Whether probes to an address that lies inside an attached subnet
+    /// but is unassigned draw an ICMP Host Unreachable (`true`) or silence
+    /// (`false`).
+    pub unreachable_replies: bool,
+}
+
+impl RouterConfig {
+    /// The most cooperative configuration: answers everything, reports the
+    /// probed interface for direct probes and the incoming interface for
+    /// indirect ones. Hosts and well-behaved routers use this.
+    pub const fn cooperative() -> RouterConfig {
+        RouterConfig {
+            direct: ResponsePolicy::Probed,
+            indirect: ResponsePolicy::Incoming,
+            direct_protos: ProtoSet::ALL,
+            indirect_protos: ProtoSet::ALL,
+            rate_limit: None,
+            lb: LbMode::PerFlow,
+            unreachable_replies: false,
+        }
+    }
+
+    /// A fully silent router (the paper's *nil interface* router, i.e. an
+    /// anonymous hop in traceroute output).
+    pub const fn anonymous() -> RouterConfig {
+        RouterConfig {
+            direct: ResponsePolicy::Nil,
+            indirect: ResponsePolicy::Nil,
+            direct_protos: ProtoSet::NONE,
+            indirect_protos: ProtoSet::NONE,
+            rate_limit: None,
+            lb: LbMode::PerFlow,
+            unreachable_replies: false,
+        }
+    }
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig::cooperative()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proto_set_constants() {
+        assert!(ProtoSet::ALL.allows(Protocol::Icmp));
+        assert!(ProtoSet::ALL.allows(Protocol::Tcp));
+        assert!(!ProtoSet::NONE.allows(Protocol::Icmp));
+        assert!(ProtoSet::ICMP_ONLY.allows(Protocol::Icmp));
+        assert!(!ProtoSet::ICMP_ONLY.allows(Protocol::Udp));
+        assert!(ProtoSet::NO_TCP.allows(Protocol::Udp));
+        assert!(!ProtoSet::NO_TCP.allows(Protocol::Tcp));
+    }
+
+    #[test]
+    fn cooperative_and_anonymous_presets() {
+        let c = RouterConfig::cooperative();
+        assert_eq!(c.direct, ResponsePolicy::Probed);
+        assert_eq!(c.indirect, ResponsePolicy::Incoming);
+        let a = RouterConfig::anonymous();
+        assert_eq!(a.direct, ResponsePolicy::Nil);
+        assert_eq!(a.indirect, ResponsePolicy::Nil);
+        assert_eq!(RouterConfig::default(), c);
+    }
+}

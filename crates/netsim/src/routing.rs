@@ -1,0 +1,226 @@
+//! Shortest-path routing with equal-cost multipath sets.
+//!
+//! The paper reasons in unweighted hop distances (its Figure 2 shows
+//! "unweighed links"), so routing is breadth-first shortest path over the
+//! router graph, where two routers are adjacent iff they share a subnet.
+//! All shortest next hops are retained; the engine's load balancer picks
+//! among them per flow or per packet (§3.7).
+
+use std::collections::VecDeque;
+
+use crate::topology::{RouterId, SubnetId, Topology};
+
+/// Unreachable marker in the distance matrix.
+pub const UNREACHABLE: u16 = u16::MAX;
+
+/// All-pairs hop distances and next-hop sets for a topology.
+pub struct RoutingTable {
+    n: usize,
+    /// dist[src * n + dst] = hop count between routers (0 on diagonal).
+    dist: Vec<u16>,
+}
+
+impl RoutingTable {
+    /// Computes the table with one BFS per router.
+    pub fn compute(topo: &Topology) -> RoutingTable {
+        let n = topo.router_count();
+        let mut dist = vec![UNREACHABLE; n * n];
+        // Precompute the adjacency list once.
+        let adj: Vec<Vec<RouterId>> = (0..n)
+            .map(|r| {
+                let mut v: Vec<RouterId> =
+                    topo.neighbors(RouterId(r as u32)).map(|(nb, _)| nb).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        let mut queue = VecDeque::new();
+        for src in 0..n {
+            let row = &mut dist[src * n..(src + 1) * n];
+            row[src] = 0;
+            queue.clear();
+            queue.push_back(src);
+            while let Some(cur) = queue.pop_front() {
+                let d = row[cur];
+                for &nb in &adj[cur] {
+                    let nb = nb.0 as usize;
+                    if row[nb] == UNREACHABLE {
+                        row[nb] = d + 1;
+                        queue.push_back(nb);
+                    }
+                }
+            }
+        }
+        RoutingTable { n, dist }
+    }
+
+    /// Hop distance between two routers ([`UNREACHABLE`] if disconnected).
+    pub fn dist(&self, from: RouterId, to: RouterId) -> u16 {
+        self.dist[from.0 as usize * self.n + to.0 as usize]
+    }
+
+    /// Whether `to` is reachable from `from`.
+    pub fn reachable(&self, from: RouterId, to: RouterId) -> bool {
+        self.dist(from, to) != UNREACHABLE
+    }
+
+    /// The ECMP next-hop set from `from` toward `to`: every
+    /// (neighbor, via-subnet) pair lying on some shortest path, in a
+    /// deterministic order.
+    ///
+    /// Empty when `from == to` or `to` is unreachable.
+    pub fn next_hops(
+        &self,
+        topo: &Topology,
+        from: RouterId,
+        to: RouterId,
+    ) -> Vec<(RouterId, SubnetId)> {
+        if from == to || !self.reachable(from, to) {
+            return Vec::new();
+        }
+        let want = self.dist(from, to) - 1;
+        let mut hops: Vec<(RouterId, SubnetId)> = topo
+            .neighbors(from)
+            .filter(|&(nb, _)| self.dist(nb, to) == want)
+            .collect();
+        hops.sort_unstable();
+        hops.dedup();
+        hops
+    }
+
+    /// The nearest router(s) of `candidates` to `from`; used to route
+    /// toward a subnet (its ingress router is the closest attached
+    /// router).
+    pub fn nearest(
+        &self,
+        from: RouterId,
+        candidates: impl IntoIterator<Item = RouterId>,
+    ) -> Option<(RouterId, u16)> {
+        candidates
+            .into_iter()
+            .map(|c| (c, self.dist(from, c)))
+            .filter(|&(_, d)| d != UNREACHABLE)
+            .min_by_key(|&(c, d)| (d, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RouterConfig;
+    use crate::topology::TopologyBuilder;
+    use inet::{Addr, Prefix};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    /// Builds a chain r0 - r1 - r2 - r3 over /31 links.
+    fn chain(n: u32) -> (Topology, Vec<RouterId>) {
+        let mut b = TopologyBuilder::new();
+        let routers: Vec<RouterId> =
+            (0..n).map(|i| b.router(format!("r{i}"), RouterConfig::cooperative())).collect();
+        for i in 0..n - 1 {
+            let s = b.subnet(Prefix::containing(Addr::new(10, 0, i as u8, 0), 31));
+            b.attach(routers[i as usize], s, Addr::new(10, 0, i as u8, 0)).unwrap();
+            b.attach(routers[(i + 1) as usize], s, Addr::new(10, 0, i as u8, 1)).unwrap();
+        }
+        (b.build().unwrap(), routers)
+    }
+
+    #[test]
+    fn chain_distances() {
+        let (t, r) = chain(4);
+        let rt = RoutingTable::compute(&t);
+        assert_eq!(rt.dist(r[0], r[0]), 0);
+        assert_eq!(rt.dist(r[0], r[3]), 3);
+        assert_eq!(rt.dist(r[3], r[0]), 3);
+        assert_eq!(rt.dist(r[1], r[2]), 1);
+    }
+
+    #[test]
+    fn chain_next_hops_are_unique() {
+        let (t, r) = chain(4);
+        let rt = RoutingTable::compute(&t);
+        let hops = rt.next_hops(&t, r[0], r[3]);
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].0, r[1]);
+        assert!(rt.next_hops(&t, r[0], r[0]).is_empty());
+    }
+
+    #[test]
+    fn disconnected_routers_unreachable() {
+        let mut b = TopologyBuilder::new();
+        let r1 = b.router("r1", RouterConfig::cooperative());
+        let r2 = b.router("r2", RouterConfig::cooperative());
+        let s1 = b.subnet(p("10.0.0.0/31"));
+        b.attach(r1, s1, a("10.0.0.0")).unwrap();
+        let s2 = b.subnet(p("10.0.1.0/31"));
+        b.attach(r2, s2, a("10.0.1.0")).unwrap();
+        let t = b.build().unwrap();
+        let rt = RoutingTable::compute(&t);
+        assert!(!rt.reachable(r1, r2));
+        assert!(rt.next_hops(&t, r1, r2).is_empty());
+        assert!(rt.nearest(r1, [r2]).is_none());
+    }
+
+    /// Diamond: r0 connects to r3 via r1 and r2 at equal cost.
+    fn diamond() -> (Topology, Vec<RouterId>) {
+        let mut b = TopologyBuilder::new();
+        let r: Vec<RouterId> =
+            (0..4).map(|i| b.router(format!("r{i}"), RouterConfig::cooperative())).collect();
+        let links = [(0, 1, 0u8), (0, 2, 1), (1, 3, 2), (2, 3, 3)];
+        for &(x, y, k) in &links {
+            let s = b.subnet(Prefix::containing(Addr::new(10, 1, k, 0), 31));
+            b.attach(r[x], s, Addr::new(10, 1, k, 0)).unwrap();
+            b.attach(r[y], s, Addr::new(10, 1, k, 1)).unwrap();
+        }
+        (b.build().unwrap(), r)
+    }
+
+    #[test]
+    fn diamond_has_two_equal_cost_paths() {
+        let (t, r) = diamond();
+        let rt = RoutingTable::compute(&t);
+        assert_eq!(rt.dist(r[0], r[3]), 2);
+        let hops = rt.next_hops(&t, r[0], r[3]);
+        assert_eq!(hops.len(), 2);
+        let nbs: Vec<RouterId> = hops.iter().map(|&(n, _)| n).collect();
+        assert!(nbs.contains(&r[1]) && nbs.contains(&r[2]));
+    }
+
+    #[test]
+    fn nearest_picks_minimum_then_lowest_id() {
+        let (t, r) = chain(4);
+        let rt = RoutingTable::compute(&t);
+        assert_eq!(rt.nearest(r[0], [r[2], r[3]]), Some((r[2], 2)));
+        // Ties broken by router id.
+        assert_eq!(rt.nearest(r[1], [r[0], r[2]]), Some((r[0], 1)));
+        let _ = t;
+    }
+
+    #[test]
+    fn multi_access_lan_is_full_mesh_adjacency() {
+        let mut b = TopologyBuilder::new();
+        let r: Vec<RouterId> =
+            (0..3).map(|i| b.router(format!("r{i}"), RouterConfig::cooperative())).collect();
+        let s = b.subnet(p("192.168.0.0/29"));
+        for (i, &router) in r.iter().enumerate() {
+            b.attach(router, s, Addr::new(192, 168, 0, i as u8 + 1)).unwrap();
+        }
+        let t = b.build().unwrap();
+        let rt = RoutingTable::compute(&t);
+        for &x in &r {
+            for &y in &r {
+                if x != y {
+                    assert_eq!(rt.dist(x, y), 1);
+                }
+            }
+        }
+    }
+}

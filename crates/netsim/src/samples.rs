@@ -1,0 +1,379 @@
+//! Ready-made sample topologies, shared by tests, examples and docs
+//! across the workspace.
+//!
+//! Two of them reconstruct figures from the TraceNET paper:
+//! [`figure3`] is the subnet-exploration scene of §3.3 (ingress router,
+//! pivot, contra-pivot, and all three fringe-interface categories of
+//! Figure 5), and [`figure2`] is the overlay-path motivation network of
+//! §1.
+
+use std::collections::HashMap;
+
+use inet::{Addr, Prefix};
+
+use crate::policy::RouterConfig;
+use crate::topology::{Topology, TopologyBuilder};
+
+/// Maps human names (`"R4.e"`, `"vantage"`) to the addresses a sample
+/// assigned them, so tests can speak the paper's language.
+#[derive(Clone, Debug, Default)]
+pub struct Names {
+    map: HashMap<String, Addr>,
+}
+
+impl Names {
+    fn put(&mut self, name: &str, addr: Addr) {
+        self.map.insert(name.to_string(), addr);
+    }
+
+    /// The address registered under `name`.
+    ///
+    /// # Panics
+    /// Panics when the name is unknown — samples are fixtures, a typo is a
+    /// test bug.
+    pub fn addr(&self, name: &str) -> Addr {
+        match self.map.get(name) {
+            Some(a) => *a,
+            None => panic!("no sample address named {name:?}"),
+        }
+    }
+
+    /// All registered (name, address) pairs, sorted by name.
+    pub fn all(&self) -> Vec<(String, Addr)> {
+        let mut v: Vec<(String, Addr)> = self.map.iter().map(|(k, &a)| (k.clone(), a)).collect();
+        v.sort();
+        v
+    }
+}
+
+fn p(s: &str) -> Prefix {
+    s.parse().expect("sample prefix")
+}
+
+fn a(s: &str) -> Addr {
+    s.parse().expect("sample address")
+}
+
+/// A linear chain: `vantage — r1 — r2 — … — rn — dest` over /31 links.
+///
+/// Addresses: link `k` (0-based, vantage side first) is `10.0.k.0/31`.
+/// The destination is `n+1` hops from the vantage.
+pub fn chain(n: u32) -> (Topology, Names) {
+    assert!(n >= 1, "chain needs at least one router");
+    let mut b = TopologyBuilder::new();
+    let mut names = Names::default();
+    let v = b.host("vantage");
+    let mut prev = v;
+    let mut prev_name = "vantage".to_string();
+    for k in 0..=n {
+        let (node, name) = if k < n {
+            let name = format!("r{}", k + 1);
+            (b.router(name.clone(), RouterConfig::cooperative()), name)
+        } else {
+            (b.host("dest"), "dest".to_string())
+        };
+        let link = b.subnet(Prefix::containing(Addr::new(10, 0, k as u8, 0), 31));
+        let lo = Addr::new(10, 0, k as u8, 0);
+        let hi = Addr::new(10, 0, k as u8, 1);
+        b.attach(prev, link, lo).expect("chain attach");
+        b.attach(node, link, hi).expect("chain attach");
+        names.put(&format!("{prev_name}.fwd"), lo);
+        names.put(&format!("{name}.back"), hi);
+        if prev_name == "vantage" {
+            names.put("vantage", lo);
+        }
+        if name == "dest" {
+            names.put("dest", hi);
+        }
+        prev = node;
+        prev_name = name;
+    }
+    (b.build().expect("chain builds"), names)
+}
+
+/// A two-way ECMP diamond:
+///
+/// ```text
+///            ┌— r_up —┐
+/// vantage — r_in      r_out — dest
+///            └— r_dn —┘
+/// ```
+///
+/// `r_in` sees two equal-cost next hops toward `dest`, exercising load
+/// balancing and path-fluctuation behavior.
+pub fn diamond() -> (Topology, Names) {
+    let mut b = TopologyBuilder::new();
+    let mut names = Names::default();
+    let v = b.host("vantage");
+    let r_in = b.router("r_in", RouterConfig::cooperative());
+    let r_up = b.router("r_up", RouterConfig::cooperative());
+    let r_dn = b.router("r_dn", RouterConfig::cooperative());
+    let r_out = b.router("r_out", RouterConfig::cooperative());
+    let d = b.host("dest");
+
+    let mut link = |b: &mut TopologyBuilder, x, y, net: &str, nx: &str, ny: &str| {
+        let s = b.subnet(p(net));
+        let base: Addr = net.split('/').next().unwrap().parse().unwrap();
+        b.attach(x, s, base).unwrap();
+        b.attach(y, s, base.mate31()).unwrap();
+        names.put(nx, base);
+        names.put(ny, base.mate31());
+    };
+    link(&mut b, v, r_in, "10.1.0.0/31", "vantage", "r_in.w");
+    link(&mut b, r_in, r_up, "10.1.1.0/31", "r_in.up", "r_up.w");
+    link(&mut b, r_in, r_dn, "10.1.2.0/31", "r_in.dn", "r_dn.w");
+    link(&mut b, r_up, r_out, "10.1.3.0/31", "r_up.e", "r_out.up");
+    link(&mut b, r_dn, r_out, "10.1.4.0/31", "r_dn.e", "r_out.dn");
+    link(&mut b, r_out, d, "10.1.5.0/31", "r_out.e", "dest");
+    (b.build().expect("diamond builds"), names)
+}
+
+/// The paper's **Figure 3** scene: the network around a subnet under
+/// exploration, with every fringe-interface category of Figure 5 placed
+/// at addresses the exploration sweep will actually encounter.
+///
+/// ```text
+/// vantage —(hop1)— R1 —(hop2)— R2 ═══ S = 10.0.2.0/29 ═══ R3, R4, R6   (hop 3)
+///                               │                          │       │
+///                               └──— C: R2.s—R7.n          │       └ F2: R6.w—R8.n
+///                                   10.0.2.10/31           └ F1: R4.s—R5.n
+///                                                              10.0.2.8/31
+/// ```
+///
+/// Cast, in the paper's vocabulary (trace toward `dest` behind R4):
+/// * `R2.e` (10.0.1.1) — **ingress interface** (reported at hop d−1).
+/// * `R4.e` (10.0.2.3) — **pivot interface** at hop d = 3.
+/// * `R2.w` (10.0.2.1) — **contra-pivot** (on S, one hop closer).
+/// * `R3.s` (10.0.2.2), `R6.n` (10.0.2.4) — further members of S.
+/// * `R2.s` (10.0.2.10) — *ingress fringe* (hosted by the ingress router,
+///   in sweep range).
+/// * `R4.s` (10.0.2.8), `R6.w` (10.0.2.12) — *far fringe*: their /31
+///   mates (R5.n = .9, R8.n = .13) are one hop beyond S.
+/// * `R7.n` (10.0.2.11) — *close fringe*: its /31 mate is `R2.s` on the
+///   ingress router.
+/// * `dest` (10.0.9.1) — a trace target behind R4 so S is
+///   on-the-trace-path.
+pub fn figure3() -> (Topology, Names) {
+    let mut b = TopologyBuilder::new();
+    let mut names = Names::default();
+
+    let v = b.host("vantage");
+    let r1 = b.router("R1", RouterConfig::cooperative());
+    let r2 = b.router("R2", RouterConfig::cooperative());
+    let r3 = b.router("R3", RouterConfig::cooperative());
+    let r4 = b.router("R4", RouterConfig::cooperative());
+    let r5 = b.router("R5", RouterConfig::cooperative());
+    let r6 = b.router("R6", RouterConfig::cooperative());
+    let r7 = b.router("R7", RouterConfig::cooperative());
+    let r8 = b.router("R8", RouterConfig::cooperative());
+    let dest = b.host("dest");
+
+    // vantage — R1
+    let l0 = b.subnet(p("10.0.0.0/31"));
+    b.attach(v, l0, a("10.0.0.0")).unwrap();
+    b.attach(r1, l0, a("10.0.0.1")).unwrap();
+    names.put("vantage", a("10.0.0.0"));
+    names.put("R1.w", a("10.0.0.1"));
+
+    // R1 — R2 (the subnet carrying the ingress interface R2.e)
+    let l1 = b.subnet(p("10.0.1.0/31"));
+    b.attach(r1, l1, a("10.0.1.0")).unwrap();
+    b.attach(r2, l1, a("10.0.1.1")).unwrap();
+    names.put("R1.e", a("10.0.1.0"));
+    names.put("R2.e", a("10.0.1.1"));
+
+    // S — the subnet under exploration.
+    let s = b.subnet(p("10.0.2.0/29"));
+    b.attach(r2, s, a("10.0.2.1")).unwrap();
+    b.attach(r3, s, a("10.0.2.2")).unwrap();
+    b.attach(r4, s, a("10.0.2.3")).unwrap();
+    b.attach(r6, s, a("10.0.2.4")).unwrap();
+    names.put("R2.w", a("10.0.2.1"));
+    names.put("R3.s", a("10.0.2.2"));
+    names.put("R4.e", a("10.0.2.3"));
+    names.put("R6.n", a("10.0.2.4"));
+
+    // F1 — far fringe behind R4.
+    let f1 = b.subnet(p("10.0.2.8/31"));
+    b.attach(r4, f1, a("10.0.2.8")).unwrap();
+    b.attach(r5, f1, a("10.0.2.9")).unwrap();
+    names.put("R4.s", a("10.0.2.8"));
+    names.put("R5.n", a("10.0.2.9"));
+
+    // C — close fringe: R2 — R7.
+    let c = b.subnet(p("10.0.2.10/31"));
+    b.attach(r2, c, a("10.0.2.10")).unwrap();
+    b.attach(r7, c, a("10.0.2.11")).unwrap();
+    names.put("R2.s", a("10.0.2.10"));
+    names.put("R7.n", a("10.0.2.11"));
+
+    // F2 — far fringe behind R6.
+    let f2 = b.subnet(p("10.0.2.12/31"));
+    b.attach(r6, f2, a("10.0.2.12")).unwrap();
+    b.attach(r8, f2, a("10.0.2.13")).unwrap();
+    names.put("R6.w", a("10.0.2.12"));
+    names.put("R8.n", a("10.0.2.13"));
+
+    // Trace destination behind R4, so the trace path runs
+    // vantage → R1 → R2 → R4 → dest and S is on-the-trace-path.
+    let ld = b.subnet(p("10.0.9.0/31"));
+    b.attach(r4, ld, a("10.0.9.0")).unwrap();
+    b.attach(dest, ld, a("10.0.9.1")).unwrap();
+    names.put("R4.d", a("10.0.9.0"));
+    names.put("dest", a("10.0.9.1"));
+
+    (b.build().expect("figure3 builds"), names)
+}
+
+/// The paper's **Figure 2** network: hosts A, B, C, D around routers
+/// R1–R9 with a four-router multi-access LAN (`M`, 10.2.0.0/29) that
+/// traceroute cannot see but tracenet can.
+///
+/// Paths (unweighted shortest): `P1 = A,R1,R2,(M),R5,R9,D` and
+/// `P3 = B,R6,R3,R4,(M),R8,C`. P1 and P3 look node- and link-disjoint to
+/// traceroute, yet share LAN `M` through R2/R4/R5/R8 — the paper's
+/// incorrect-overlay-disjointness example.
+///
+/// Two deliberate adaptations from the figure's cartoon: the figure's
+/// second A-path (P2 via R3/R4) is omitted — equal-cost splitting at A
+/// only adds load-balancer noise orthogonal to what the figure
+/// demonstrates — and M's members are numbered so each direction's
+/// ingress interface is the /30-mate of that direction's pivot (R2.m
+/// beside R5.m, R4.m beside R8.m), which a /29 LAN among four routers
+/// needs anyway for tracenet's own growth gates (Algorithm 1, lines
+/// 19–21) to be satisfiable.
+pub fn figure2() -> (Topology, Names) {
+    let mut b = TopologyBuilder::new();
+    let mut names = Names::default();
+
+    let ha = b.host("A");
+    let hb = b.host("B");
+    let hc = b.host("C");
+    let hd = b.host("D");
+    let r: Vec<_> =
+        (1..=9).map(|i| b.router(format!("R{i}"), RouterConfig::cooperative())).collect();
+    let ri = |i: usize| r[i - 1];
+
+    // A's access LAN.
+    let lan_a = b.subnet(p("10.2.1.0/29"));
+    b.attach(ha, lan_a, a("10.2.1.1")).unwrap();
+    b.attach(ri(1), lan_a, a("10.2.1.2")).unwrap();
+    names.put("A", a("10.2.1.1"));
+    names.put("R1.a", a("10.2.1.2"));
+
+    // The shared multi-access LAN M: R2, R5 in the lower /30, R4, R8 in
+    // the upper one.
+    let m = b.subnet(p("10.2.0.0/29"));
+    b.attach(ri(2), m, a("10.2.0.1")).unwrap();
+    b.attach(ri(5), m, a("10.2.0.2")).unwrap();
+    b.attach(ri(4), m, a("10.2.0.5")).unwrap();
+    b.attach(ri(8), m, a("10.2.0.6")).unwrap();
+    names.put("R2.m", a("10.2.0.1"));
+    names.put("R5.m", a("10.2.0.2"));
+    names.put("R4.m", a("10.2.0.5"));
+    names.put("R8.m", a("10.2.0.6"));
+
+    // Point-to-point links.
+    let mut link = |b: &mut TopologyBuilder, x, y, net: &str, nx: &str, ny: &str| {
+        let s = b.subnet(p(net));
+        let base: Addr = net.split('/').next().unwrap().parse().unwrap();
+        b.attach(x, s, base).unwrap();
+        b.attach(y, s, base.mate31()).unwrap();
+        names.put(nx, base);
+        names.put(ny, base.mate31());
+    };
+    link(&mut b, ri(1), ri(2), "10.2.2.0/31", "R1.e", "R2.w");
+    link(&mut b, ri(3), ri(4), "10.2.3.0/31", "R3.e", "R4.w");
+    link(&mut b, ri(5), ri(9), "10.2.4.0/31", "R5.e", "R9.w");
+    link(&mut b, ri(6), ri(3), "10.2.5.0/31", "R6.e", "R3.n");
+    link(&mut b, hb, ri(6), "10.2.6.0/31", "B", "R6.b");
+    link(&mut b, ri(8), hc, "10.2.7.0/31", "R8.c", "C");
+    link(&mut b, ri(9), hd, "10.2.8.0/31", "R9.d", "D");
+
+    (b.build().expect("figure2 builds"), names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RoutingTable;
+
+    #[test]
+    fn chain_has_expected_length() {
+        let (t, names) = chain(3);
+        assert_eq!(t.router_count(), 5); // vantage + 3 routers + dest
+        let rt = RoutingTable::compute(&t);
+        let v = t.owner_of(names.addr("vantage")).unwrap();
+        let d = t.owner_of(names.addr("dest")).unwrap();
+        assert_eq!(rt.dist(v, d), 4);
+    }
+
+    #[test]
+    fn figure3_distances_match_the_papers_hops() {
+        let (t, names) = figure3();
+        let rt = RoutingTable::compute(&t);
+        let v = t.owner_of(names.addr("vantage")).unwrap();
+        let d = |n: &str| rt.dist(v, t.owner_of(names.addr(n)).unwrap());
+        assert_eq!(d("R1.w"), 1);
+        assert_eq!(d("R2.e"), 2); // ingress router at hop d-1
+        assert_eq!(d("R4.e"), 3); // pivot at hop d
+        assert_eq!(d("R3.s"), 3);
+        assert_eq!(d("R6.n"), 3);
+        assert_eq!(d("R5.n"), 4); // far fringe mate one hop beyond
+        assert_eq!(d("R8.n"), 4);
+        assert_eq!(d("R7.n"), 3); // close fringe router
+        assert_eq!(d("dest"), 4);
+    }
+
+    #[test]
+    fn figure3_fringe_addresses_fall_in_sweep_range() {
+        let (_, names) = figure3();
+        let pivot = names.addr("R4.e");
+        let sweep28 = Prefix::containing(pivot, 28);
+        for fringe in ["R4.s", "R2.s", "R7.n", "R6.w"] {
+            assert!(
+                sweep28.contains(names.addr(fringe)),
+                "{fringe} must be inside the /28 sweep range"
+            );
+        }
+    }
+
+    #[test]
+    fn figure2_paths_share_the_multiaccess_lan() {
+        let (t, names) = figure2();
+        let rt = RoutingTable::compute(&t);
+        let ha = t.owner_of(names.addr("A")).unwrap();
+        let hd = t.owner_of(names.addr("D")).unwrap();
+        let hb = t.owner_of(names.addr("B")).unwrap();
+        let hc = t.owner_of(names.addr("C")).unwrap();
+        // A→D is 5 hops (R1/R3, R2/R4, R5, R9, D); B→C is 5 hops too.
+        assert_eq!(rt.dist(ha, hd), 5);
+        assert_eq!(rt.dist(hb, hc), 5);
+        // R2, R4, R5, R8 all sit on LAN M.
+        let m = t.subnet_by_prefix(p("10.2.0.0/29")).unwrap();
+        let owners: Vec<String> = t
+            .subnet(m)
+            .ifaces
+            .iter()
+            .map(|&i| t.router(t.iface(i).router).name.clone())
+            .collect();
+        for r in ["R2", "R4", "R5", "R8"] {
+            assert!(owners.iter().any(|o| o == r), "{r} must be on LAN M");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no sample address")]
+    fn names_panics_on_typo() {
+        let (_, names) = chain(1);
+        names.addr("r99");
+    }
+
+    #[test]
+    fn names_all_is_sorted() {
+        let (_, names) = diamond();
+        let all = names.all();
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(all.iter().any(|(n, _)| n == "vantage"));
+    }
+}

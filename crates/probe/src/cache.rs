@@ -1,0 +1,126 @@
+//! [`CachingProber`]: the paper's probe-merging optimization.
+//!
+//! §3.5: "our tracenet implementation is optimized to collect the subnets
+//! with the least number of probes and some of the rules are merged
+//! together." Concretely: heuristics H3 and H6 both need the result of
+//! `⟨l, jʰ−1⟩`, and subnet positioning re-asks questions that trace
+//! collection already answered. Memoizing on `(dst, ttl, flow)` makes the
+//! merged-probe behavior fall out naturally while leaving the heuristics
+//! written exactly as the paper states them.
+
+use std::collections::HashMap;
+
+use inet::Addr;
+use wire::Protocol;
+
+use crate::outcome::ProbeOutcome;
+use crate::prober::{ProbeStats, Prober};
+
+/// A transparent memoization layer over any [`Prober`].
+///
+/// Timeouts are cached too: the inner prober already retried (§3.8), and
+/// tracenet does not re-ask a silent address within one exploration.
+pub struct CachingProber<P> {
+    inner: P,
+    cache: HashMap<(Addr, u8, u16), ProbeOutcome>,
+    hits: u64,
+}
+
+impl<P: Prober> CachingProber<P> {
+    /// Wraps `inner`.
+    pub fn new(inner: P) -> CachingProber<P> {
+        CachingProber { inner, cache: HashMap::new(), hits: 0 }
+    }
+
+    /// Number of probes answered from cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Forgets everything — used between hops, where path dynamics may
+    /// have changed the answers.
+    pub fn clear(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Consumes the wrapper, returning the inner prober.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// A reference to the inner prober.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Prober> Prober for CachingProber<P> {
+    fn src(&self) -> Addr {
+        self.inner.src()
+    }
+
+    fn protocol(&self) -> Protocol {
+        self.inner.protocol()
+    }
+
+    fn probe_with_flow(&mut self, dst: Addr, ttl: u8, flow: u16) -> ProbeOutcome {
+        if let Some(&hit) = self.cache.get(&(dst, ttl, flow)) {
+            self.hits += 1;
+            return hit;
+        }
+        let outcome = self.inner.probe_with_flow(dst, ttl, flow);
+        self.cache.insert((dst, ttl, flow), outcome);
+        outcome
+    }
+
+    fn stats(&self) -> ProbeStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScriptedProber;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn second_identical_probe_is_free() {
+        let mut inner = ScriptedProber::new(a("10.0.0.1"));
+        inner.script(a("10.0.0.9"), 3, ProbeOutcome::DirectReply { from: a("10.0.0.9") });
+        let mut p = CachingProber::new(inner);
+        let first = p.probe(a("10.0.0.9"), 3);
+        let second = p.probe(a("10.0.0.9"), 3);
+        assert_eq!(first, second);
+        assert_eq!(p.cache_hits(), 1);
+        assert_eq!(p.stats().sent, 1, "only one wire probe");
+    }
+
+    #[test]
+    fn different_ttl_or_flow_is_not_a_hit() {
+        let mut inner = ScriptedProber::new(a("10.0.0.1"));
+        inner.script(a("10.0.0.9"), 3, ProbeOutcome::DirectReply { from: a("10.0.0.9") });
+        let mut p = CachingProber::new(inner);
+        let _ = p.probe(a("10.0.0.9"), 3);
+        let _ = p.probe(a("10.0.0.9"), 2);
+        let _ = p.probe_with_flow(a("10.0.0.9"), 3, 7);
+        assert_eq!(p.cache_hits(), 0);
+        assert_eq!(p.stats().sent, 3);
+    }
+
+    #[test]
+    fn timeouts_are_cached_and_clear_resets() {
+        let inner = ScriptedProber::new(a("10.0.0.1"));
+        let mut p = CachingProber::new(inner);
+        assert_eq!(p.probe(a("10.0.0.9"), 3), ProbeOutcome::Timeout);
+        assert_eq!(p.probe(a("10.0.0.9"), 3), ProbeOutcome::Timeout);
+        assert_eq!(p.cache_hits(), 1);
+        p.clear();
+        let _ = p.probe(a("10.0.0.9"), 3);
+        assert_eq!(p.cache_hits(), 1, "cleared cache must not hit");
+        assert_eq!(p.stats().sent, 2);
+    }
+}

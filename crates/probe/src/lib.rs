@@ -1,0 +1,45 @@
+//! The probing layer: how tracenet, traceroute and ping talk to a
+//! network.
+//!
+//! Everything above this crate is written against the [`Prober`] trait, so
+//! the same algorithm code runs over:
+//!
+//! * [`SimProber`] — encodes genuine wire packets (via the `wire` crate),
+//!   injects them into a `netsim::Network`, decodes and *validates* the
+//!   replies (echo identifiers, quoted datagrams) exactly as a raw-socket
+//!   prober must;
+//! * [`ScriptedProber`] — a hand-authored table of (destination, TTL) →
+//!   outcome, used to unit-test algorithm logic in isolation;
+//! * [`CachingProber`] — a transparent memo layer implementing the
+//!   paper's probe-merging optimization ("our tracenet implementation is
+//!   optimized to collect the subnets with the least number of probes and
+//!   some of the rules are merged together", §3.5): heuristics H3 and H6
+//!   share a single `⟨l, jʰ−1⟩` probe through this cache;
+//! * [`SharedSimProber`] — a `SimProber` over a network behind a mutex, so
+//!   several vantage points can interleave sessions over one simulated
+//!   Internet.
+//!
+//! The probe vocabulary (§3.1 of the paper) is captured by
+//! [`ProbeOutcome`]: a **direct reply** (echo reply / port unreachable /
+//! TCP RST — the paper's `ECHO_RPLY`), a **TTL exceeded** (`TTL_EXCD`), an
+//! **unreachable** of some other flavor, or a **timeout**. The paper's
+//! §3.8 re-probe-on-silence rule lives in the probers' retry budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod outcome;
+mod prober;
+mod scripted;
+mod shared;
+mod sim;
+
+pub use cache::CachingProber;
+pub use outcome::{ProbeOutcome, UnreachKind};
+pub use prober::{FlowMode, ProbeStats, Prober};
+pub use scripted::ScriptedProber;
+pub use shared::{SharedNetwork, SharedSimProber};
+pub use sim::SimProber;
+
+pub use wire::Protocol;

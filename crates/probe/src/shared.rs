@@ -1,0 +1,166 @@
+//! Sharing one simulated network between several vantage points.
+//!
+//! The paper's cross-validation experiment (§4.2, Figure 6) runs the same
+//! target list from three PlanetLab sites against the *same* Internet.
+//! [`SharedNetwork`] puts a `netsim::Network` behind a mutex so one
+//! [`SharedSimProber`] per vantage can interleave probes over it — which
+//! also keeps shared engine state (rate limiters, the fluctuation clock)
+//! honest across vantages.
+
+use std::sync::Arc;
+
+use inet::Addr;
+use netsim::{Network, Verdict};
+use parking_lot::Mutex;
+use wire::{builder, Packet, Protocol};
+
+use crate::outcome::ProbeOutcome;
+use crate::prober::{ProbeStats, Prober};
+use crate::sim::DEFAULT_RETRIES;
+
+/// A cloneable handle to a mutex-protected network.
+#[derive(Clone)]
+pub struct SharedNetwork {
+    inner: Arc<Mutex<Network>>,
+}
+
+impl SharedNetwork {
+    /// Wraps a network.
+    pub fn new(net: Network) -> SharedNetwork {
+        SharedNetwork { inner: Arc::new(Mutex::new(net)) }
+    }
+
+    /// Runs `f` with exclusive access to the network.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Network) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Creates a prober for the given vantage address and protocol.
+    pub fn prober(&self, src: Addr, protocol: Protocol) -> SharedSimProber {
+        let known = self.with(|n| n.topology().owner_of(src).is_some());
+        assert!(known, "prober source {src} is not an interface of the network");
+        SharedSimProber {
+            net: self.clone(),
+            src,
+            protocol,
+            ident: 0x7ace,
+            seq: 0,
+            retries: DEFAULT_RETRIES,
+            stats: ProbeStats::default(),
+        }
+    }
+}
+
+/// A [`Prober`] over a [`SharedNetwork`] (always Paris-mode: one stable
+/// flow per session, as tracenet requires).
+pub struct SharedSimProber {
+    net: SharedNetwork,
+    src: Addr,
+    protocol: Protocol,
+    ident: u16,
+    seq: u16,
+    retries: u8,
+    stats: ProbeStats,
+}
+
+impl SharedSimProber {
+    /// Sets the session identifier, distinguishing this vantage's flows.
+    pub fn ident(mut self, ident: u16) -> Self {
+        self.ident = ident;
+        self
+    }
+
+    /// Sets the silence retry budget.
+    pub fn retries(mut self, retries: u8) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    fn build_probe(&mut self, dst: Addr, ttl: u8) -> Packet {
+        self.seq = self.seq.wrapping_add(1);
+        match self.protocol {
+            Protocol::Icmp => builder::icmp_probe(self.src, dst, ttl, self.ident, self.seq),
+            Protocol::Udp => builder::udp_probe(
+                self.src,
+                dst,
+                ttl,
+                0x8000 | self.ident,
+                builder::UDP_PROBE_BASE_PORT,
+            ),
+            Protocol::Tcp => builder::tcp_probe(self.src, dst, ttl, 0x9000 | self.ident, 80),
+        }
+    }
+}
+
+impl Prober for SharedSimProber {
+    fn src(&self) -> Addr {
+        self.src
+    }
+
+    fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    fn probe_with_flow(&mut self, dst: Addr, ttl: u8, _flow: u16) -> ProbeOutcome {
+        self.stats.requests += 1;
+        let mut outcome = ProbeOutcome::Timeout;
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            let probe = self.build_probe(dst, ttl);
+            self.stats.sent += 1;
+            let verdict = self.net.with(|n| n.inject_bytes(&probe.encode()));
+            outcome = match verdict {
+                Verdict::Reply(reply) => crate::sim::classify_reply(
+                    self.protocol,
+                    self.src,
+                    &probe,
+                    &reply,
+                ),
+                Verdict::Silent(_) => ProbeOutcome::Timeout,
+            };
+            if outcome != ProbeOutcome::Timeout {
+                break;
+            }
+        }
+        self.stats.record(&outcome);
+        outcome
+    }
+
+    fn stats(&self) -> ProbeStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::samples;
+
+    #[test]
+    fn two_vantages_share_one_network() {
+        let (topo, names) = samples::figure2();
+        let shared = SharedNetwork::new(Network::new(topo));
+        let a_addr = names.addr("A");
+        let b_addr = names.addr("B");
+        let c_addr = names.addr("C");
+        let d_addr = names.addr("D");
+
+        let mut pa = shared.prober(a_addr, Protocol::Icmp).ident(1);
+        let mut pb = shared.prober(b_addr, Protocol::Icmp).ident(2);
+
+        assert_eq!(pa.probe(d_addr, 64), ProbeOutcome::DirectReply { from: d_addr });
+        assert_eq!(pb.probe(c_addr, 64), ProbeOutcome::DirectReply { from: c_addr });
+        // Engine clock advanced for both (shared state).
+        assert!(shared.with(|n| n.tick()) >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an interface")]
+    fn unknown_vantage_is_rejected() {
+        let (topo, _) = samples::chain(1);
+        let shared = SharedNetwork::new(Network::new(topo));
+        let _ = shared.prober("203.0.113.1".parse().unwrap(), Protocol::Icmp);
+    }
+}

@@ -1,0 +1,294 @@
+//! [`SimProber`]: the raw-socket prober's simulated twin.
+//!
+//! Every probe is encoded to real wire bytes, injected into the
+//! simulator, and the returned bytes are decoded and *validated* the way
+//! a live prober must: an echo reply only counts if it carries this
+//! session's identifier, and an ICMP error only counts if the quoted
+//! datagram matches the probe that was sent. Stray or forged replies are
+//! treated as silence.
+
+use inet::Addr;
+use netsim::{Network, Verdict};
+use wire::{builder, IcmpMessage, Packet, Payload, Protocol, UnreachableCode};
+
+use crate::outcome::{ProbeOutcome, UnreachKind};
+use crate::prober::{FlowMode, ProbeStats, Prober};
+
+/// Default number of re-probes after silence (§3.8: "we re-probe an IP
+/// address if we do not get a response for the first probe").
+pub const DEFAULT_RETRIES: u8 = 1;
+
+/// A prober over a `netsim::Network`.
+pub struct SimProber<'n> {
+    net: &'n mut Network,
+    src: Addr,
+    protocol: Protocol,
+    flow_mode: FlowMode,
+    ident: u16,
+    seq: u16,
+    retries: u8,
+    stats: ProbeStats,
+}
+
+impl<'n> SimProber<'n> {
+    /// Creates an ICMP prober sourced at `src` (must be a host interface
+    /// of the network).
+    pub fn new(net: &'n mut Network, src: Addr) -> SimProber<'n> {
+        SimProber::with_protocol(net, src, Protocol::Icmp)
+    }
+
+    /// Creates a prober with an explicit probe protocol.
+    pub fn with_protocol(net: &'n mut Network, src: Addr, protocol: Protocol) -> SimProber<'n> {
+        assert!(
+            net.topology().owner_of(src).is_some(),
+            "prober source {src} is not an interface of the network"
+        );
+        SimProber {
+            net,
+            src,
+            protocol,
+            flow_mode: FlowMode::Paris,
+            ident: DEFAULT_IDENT,
+            seq: 0,
+            retries: DEFAULT_RETRIES,
+            stats: ProbeStats::default(),
+        }
+    }
+
+    /// Sets the flow mode (Paris vs classic port behavior).
+    pub fn flow_mode(mut self, mode: FlowMode) -> Self {
+        self.flow_mode = mode;
+        self
+    }
+
+    /// Sets the retry budget after silence.
+    pub fn retries(mut self, retries: u8) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the session identifier (echo ident / base port discriminator).
+    pub fn ident(mut self, ident: u16) -> Self {
+        self.ident = ident;
+        self
+    }
+
+    /// Access to the underlying network (for assertions in tests).
+    pub fn network(&self) -> &Network {
+        self.net
+    }
+
+    fn build_probe(&mut self, dst: Addr, ttl: u8, flow: u16) -> Packet {
+        self.seq = self.seq.wrapping_add(1);
+        let seq = self.seq;
+        match self.protocol {
+            Protocol::Icmp => {
+                // The echo ident pins the flow; Paris keeps it fixed,
+                // classic folds `flow` in.
+                let ident = match self.flow_mode {
+                    FlowMode::Paris => self.ident,
+                    FlowMode::Classic => self.ident ^ flow,
+                };
+                builder::icmp_probe(self.src, dst, ttl, ident, seq)
+            }
+            Protocol::Udp => {
+                let (sport, dport) = match self.flow_mode {
+                    FlowMode::Paris => (0x8000 | self.ident, builder::UDP_PROBE_BASE_PORT),
+                    FlowMode::Classic => {
+                        (0x8000 | self.ident, builder::UDP_PROBE_BASE_PORT + flow)
+                    }
+                };
+                builder::udp_probe(self.src, dst, ttl, sport, dport)
+            }
+            Protocol::Tcp => {
+                let sport = match self.flow_mode {
+                    FlowMode::Paris => 0x9000 | self.ident,
+                    FlowMode::Classic => (0x9000 | self.ident) ^ flow,
+                };
+                builder::tcp_probe(self.src, dst, ttl, sport, 80)
+            }
+        }
+    }
+
+}
+
+/// Validates a reply against the probe that drew it and classifies it.
+///
+/// A live raw-socket prober must do exactly this: an echo reply counts
+/// only when it carries the session's identifier; an ICMP error counts
+/// only when the quoted datagram matches the outstanding probe; a port
+/// unreachable is a success for UDP probing and noise otherwise.
+pub(crate) fn classify_reply(
+    protocol: Protocol,
+    prober_src: Addr,
+    probe: &Packet,
+    reply: &Packet,
+) -> ProbeOutcome {
+    if reply.header.dst != prober_src {
+        return ProbeOutcome::Timeout;
+    }
+    match &reply.payload {
+        Payload::Icmp(IcmpMessage::EchoReply { ident, .. }) => {
+            if protocol != Protocol::Icmp {
+                return ProbeOutcome::Timeout;
+            }
+            let expect = match &probe.payload {
+                Payload::Icmp(IcmpMessage::EchoRequest { ident, .. }) => *ident,
+                _ => return ProbeOutcome::Timeout,
+            };
+            if *ident != expect {
+                return ProbeOutcome::Timeout;
+            }
+            ProbeOutcome::DirectReply { from: reply.header.src }
+        }
+        Payload::Icmp(IcmpMessage::TtlExceeded { quoted }) => {
+            if quoted.header.dst != probe.header.dst {
+                return ProbeOutcome::Timeout;
+            }
+            ProbeOutcome::TtlExceeded { from: reply.header.src }
+        }
+        Payload::Icmp(IcmpMessage::Unreachable { code, quoted }) => {
+            if quoted.header.dst != probe.header.dst {
+                return ProbeOutcome::Timeout;
+            }
+            match code {
+                UnreachableCode::Port => {
+                    // Port unreachable is UDP's success signal.
+                    if protocol == Protocol::Udp {
+                        ProbeOutcome::DirectReply { from: reply.header.src }
+                    } else {
+                        ProbeOutcome::Timeout
+                    }
+                }
+                UnreachableCode::Host => {
+                    ProbeOutcome::Unreachable { from: reply.header.src, kind: UnreachKind::Host }
+                }
+                UnreachableCode::Net => {
+                    ProbeOutcome::Unreachable { from: reply.header.src, kind: UnreachKind::Net }
+                }
+                UnreachableCode::AdminProhibited => ProbeOutcome::Unreachable {
+                    from: reply.header.src,
+                    kind: UnreachKind::AdminProhibited,
+                },
+            }
+        }
+        Payload::Tcp(seg) if seg.flags.rst() && protocol == Protocol::Tcp => {
+            ProbeOutcome::DirectReply { from: reply.header.src }
+        }
+        _ => ProbeOutcome::Timeout,
+    }
+}
+
+/// Initial echo identifier; an arbitrary fixed value so sessions are
+/// reproducible (callers override with [`SimProber::ident`]).
+const DEFAULT_IDENT: u16 = 0x7ace;
+
+impl Prober for SimProber<'_> {
+    fn src(&self) -> Addr {
+        self.src
+    }
+
+    fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    fn probe_with_flow(&mut self, dst: Addr, ttl: u8, flow: u16) -> ProbeOutcome {
+        self.stats.requests += 1;
+        let mut outcome = ProbeOutcome::Timeout;
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            let probe = self.build_probe(dst, ttl, flow);
+            self.stats.sent += 1;
+            let verdict = self.net.inject_bytes(&probe.encode());
+            outcome = match verdict {
+                Verdict::Reply(reply) => {
+                    // Round-trip through wire bytes, as a raw socket would.
+                    match Packet::decode(&reply.encode()) {
+                        Ok(r) => classify_reply(self.protocol, self.src, &probe, &r),
+                        Err(_) => ProbeOutcome::Timeout,
+                    }
+                }
+                Verdict::Silent(_) => ProbeOutcome::Timeout,
+            };
+            if outcome != ProbeOutcome::Timeout {
+                break;
+            }
+        }
+        self.stats.record(&outcome);
+        outcome
+    }
+
+    fn stats(&self) -> ProbeStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::samples;
+
+    #[test]
+    fn icmp_probe_outcomes() {
+        let (topo, names) = samples::chain(2);
+        let mut net = Network::new(topo);
+        let v = names.addr("vantage");
+        let d = names.addr("dest");
+        let mut p = SimProber::new(&mut net, v);
+        assert_eq!(p.probe(d, 64), ProbeOutcome::DirectReply { from: d });
+        match p.probe(d, 1) {
+            ProbeOutcome::TtlExceeded { from } => {
+                assert_ne!(from, d);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let s = p.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.direct_replies, 1);
+        assert_eq!(s.ttl_exceeded, 1);
+    }
+
+    #[test]
+    fn udp_port_unreachable_counts_as_direct_reply() {
+        let (topo, names) = samples::chain(1);
+        let mut net = Network::new(topo);
+        let v = names.addr("vantage");
+        let d = names.addr("dest");
+        let mut p = SimProber::with_protocol(&mut net, v, Protocol::Udp);
+        assert_eq!(p.probe(d, 64), ProbeOutcome::DirectReply { from: d });
+    }
+
+    #[test]
+    fn tcp_rst_counts_as_direct_reply() {
+        let (topo, names) = samples::chain(1);
+        let mut net = Network::new(topo);
+        let v = names.addr("vantage");
+        let d = names.addr("dest");
+        let mut p = SimProber::with_protocol(&mut net, v, Protocol::Tcp);
+        assert_eq!(p.probe(d, 64), ProbeOutcome::DirectReply { from: d });
+    }
+
+    #[test]
+    fn silence_is_retried_then_timeout() {
+        let (topo, names) = samples::chain(1);
+        let mut net = Network::new(topo);
+        let v = names.addr("vantage");
+        let mut p = SimProber::new(&mut net, v).retries(2);
+        // 99.0.0.1 is not routed: timeout after 3 attempts.
+        assert_eq!(p.probe("99.0.0.1".parse().unwrap(), 64), ProbeOutcome::Timeout);
+        let s = p.stats();
+        assert_eq!(s.sent, 3);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.timeouts, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an interface")]
+    fn bogus_source_panics_early() {
+        let (topo, _) = samples::chain(1);
+        let mut net = Network::new(topo);
+        let _ = SimProber::new(&mut net, "203.0.113.99".parse().unwrap());
+    }
+}

@@ -1,0 +1,38 @@
+//! Ground-truth topology generators for the tracenet evaluation.
+//!
+//! The paper's experiments run over networks we cannot reach from here —
+//! Internet2, GEANT and four commercial ISPs probed from PlanetLab. This
+//! crate builds their synthetic stand-ins (see DESIGN.md's substitution
+//! table):
+//!
+//! * [`internet2`] — a research backbone whose 179 subnets follow
+//!   Table 1's original prefix distribution, with the responsiveness mix
+//!   (totally/partially unresponsive subnets) the paper identified;
+//! * [`geant`] — the 271-subnet GEANT equivalent of Table 2, with its
+//!   much heavier filtering;
+//! * [`isp_internet`] — four ISP backbones (SprintLink, NTT America,
+//!   Level3, AboveNET) behind a shared transit core with three vantage
+//!   hosts (Rice, UOregon, UMass), driving Tables 3 and Figures 6–9;
+//! * [`random_topology`] — small seeded topologies for property tests.
+//!
+//! Every generator is deterministic in its seed and returns a
+//! [`Scenario`]: the `netsim` topology plus vantage points, the trace
+//! target list, and per-subnet ground-truth annotations
+//! ([`GroundTruth`]) that the evaluation crate compares collected
+//! subnets against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+pub mod io;
+mod isp;
+mod random;
+mod research;
+mod scenario;
+
+pub use builder::NetBuilder;
+pub use isp::{default_isps, isp_internet, isp_internet_with, IspInternetSpec, IspSpec, ISP_NAMES};
+pub use random::random_topology;
+pub use research::{geant, internet2, research_net, ClassSpec, ResearchNetSpec};
+pub use scenario::{GroundTruth, GtSubnet, Scenario, SubnetIntent};

@@ -1,0 +1,212 @@
+//! Convenience constructors for the probe and reply packets the
+//! tracenet/traceroute family uses.
+//!
+//! Direct probes (§3.1 of the paper) are an ICMP Echo Request, a UDP
+//! datagram to a likely-unused port, or a TCP handshake packet, sent with a
+//! large TTL; indirect probes are the same packets with a small TTL so an
+//! intermediate router reports `TTL_EXCD`. These helpers pin down the exact
+//! field conventions (echo ident = session, echo seq = probe counter,
+//! UDP source port = flow id, traceroute's classic 33434 base port, …) in
+//! one place.
+
+use inet::Addr;
+
+use crate::icmp::{IcmpMessage, QuotedDatagram, UnreachableCode};
+use crate::ipv4::Ipv4Header;
+use crate::packet::{Packet, Payload};
+use crate::tcp::{TcpFlags, TcpSegment};
+use crate::udp::UdpDatagram;
+
+/// Classic traceroute UDP base destination port.
+pub const UDP_PROBE_BASE_PORT: u16 = 33434;
+
+/// Builds an ICMP echo-request probe.
+pub fn icmp_probe(src: Addr, dst: Addr, ttl: u8, ident: u16, seq: u16) -> Packet {
+    Packet::new(
+        Ipv4Header { ident: seq, ttl, protocol: crate::Protocol::Icmp, src, dst },
+        Payload::Icmp(IcmpMessage::EchoRequest { ident, seq }),
+    )
+}
+
+/// Builds a UDP probe aimed at `dst_port` (use
+/// [`UDP_PROBE_BASE_PORT`]` + k` for classic traceroute semantics, or a
+/// fixed port for Paris-style flow pinning).
+pub fn udp_probe(src: Addr, dst: Addr, ttl: u8, src_port: u16, dst_port: u16) -> Packet {
+    Packet::new(
+        Ipv4Header { ident: src_port, ttl, protocol: crate::Protocol::Udp, src, dst },
+        Payload::Udp(UdpDatagram { src_port, dst_port, payload: Vec::new() }),
+    )
+}
+
+/// Builds a TCP SYN probe to `dst_port` (classically 80).
+pub fn tcp_probe(src: Addr, dst: Addr, ttl: u8, src_port: u16, dst_port: u16) -> Packet {
+    Packet::new(
+        Ipv4Header { ident: src_port, ttl, protocol: crate::Protocol::Tcp, src, dst },
+        Payload::Tcp(TcpSegment {
+            src_port,
+            dst_port,
+            seq: ((src_port as u32) << 16) | dst_port as u32,
+            ack: 0,
+            flags: TcpFlags::SYN,
+        }),
+    )
+}
+
+/// Builds the ICMP echo reply a responsive host sends for `request`.
+///
+/// `reply_src` is the address the responder chooses to answer from — for a
+/// *probed interface* policy this is the probed address itself.
+pub fn echo_reply(request: &Packet, reply_src: Addr) -> Option<Packet> {
+    match &request.payload {
+        Payload::Icmp(IcmpMessage::EchoRequest { ident, seq }) => Some(Packet::new(
+            Ipv4Header {
+                ident: 0,
+                ttl: 64,
+                protocol: crate::Protocol::Icmp,
+                src: reply_src,
+                dst: request.header.src,
+            },
+            Payload::Icmp(IcmpMessage::EchoReply { ident: *ident, seq: *seq }),
+        )),
+        _ => None,
+    }
+}
+
+/// Builds the ICMP TTL-exceeded error a router at `reporting_src` sends
+/// when `probe` expires in transit.
+pub fn ttl_exceeded(probe: &Packet, reporting_src: Addr) -> Packet {
+    icmp_error(probe, reporting_src, None)
+}
+
+/// Builds an ICMP destination-unreachable error of the given code.
+pub fn unreachable(probe: &Packet, reporting_src: Addr, code: UnreachableCode) -> Packet {
+    icmp_error(probe, reporting_src, Some(code))
+}
+
+fn icmp_error(probe: &Packet, reporting_src: Addr, code: Option<UnreachableCode>) -> Packet {
+    let quoted: QuotedDatagram = probe.quoted();
+    let msg = match code {
+        None => IcmpMessage::TtlExceeded { quoted },
+        Some(code) => IcmpMessage::Unreachable { code, quoted },
+    };
+    Packet::new(
+        Ipv4Header {
+            ident: 0,
+            ttl: 64,
+            protocol: crate::Protocol::Icmp,
+            src: reporting_src,
+            dst: probe.header.src,
+        },
+        Payload::Icmp(msg),
+    )
+}
+
+/// Builds the TCP RST(+ACK) a destination sends in response to a SYN probe.
+pub fn tcp_rst(probe: &Packet, reply_src: Addr) -> Option<Packet> {
+    match &probe.payload {
+        Payload::Tcp(seg) if seg.flags.syn() => Some(Packet::new(
+            Ipv4Header {
+                ident: 0,
+                ttl: 64,
+                protocol: crate::Protocol::Tcp,
+                src: reply_src,
+                dst: probe.header.src,
+            },
+            Payload::Tcp(TcpSegment {
+                src_port: seg.dst_port,
+                dst_port: seg.src_port,
+                seq: 0,
+                ack: seg.seq.wrapping_add(1),
+                flags: TcpFlags::RST_ACK,
+            }),
+        )),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Packet;
+
+    const V: Addr = Addr::new(10, 0, 0, 1);
+    const D: Addr = Addr::new(198, 51, 100, 20);
+    const R: Addr = Addr::new(10, 20, 30, 40);
+
+    #[test]
+    fn icmp_probe_and_reply_match_session_ids() {
+        let probe = icmp_probe(V, D, 64, 0x4242, 17);
+        let reply = echo_reply(&probe, D).unwrap();
+        assert_eq!(reply.header.src, D);
+        assert_eq!(reply.header.dst, V);
+        match reply.payload {
+            Payload::Icmp(IcmpMessage::EchoReply { ident, seq }) => {
+                assert_eq!((ident, seq), (0x4242, 17));
+            }
+            _ => panic!("not an echo reply"),
+        }
+        // Echo reply to a non-echo probe is refused.
+        assert!(echo_reply(&udp_probe(V, D, 64, 1, 2), D).is_none());
+    }
+
+    #[test]
+    fn ttl_exceeded_quotes_original_probe() {
+        let probe = udp_probe(V, D, 3, 54000, UDP_PROBE_BASE_PORT + 3);
+        let err = ttl_exceeded(&probe, R);
+        let wire = err.encode();
+        let back = Packet::decode(&wire).unwrap();
+        match back.payload {
+            Payload::Icmp(IcmpMessage::TtlExceeded { quoted }) => {
+                assert_eq!(quoted.header.dst, D);
+                assert_eq!(
+                    u16::from_be_bytes([quoted.transport[0], quoted.transport[1]]),
+                    54000
+                );
+            }
+            _ => panic!("not ttl exceeded"),
+        }
+        assert_eq!(back.header.src, R);
+    }
+
+    #[test]
+    fn port_unreachable_carries_code() {
+        let probe = udp_probe(V, D, 64, 54000, 33460);
+        let err = unreachable(&probe, D, UnreachableCode::Port);
+        match Packet::decode(&err.encode()).unwrap().payload {
+            Payload::Icmp(IcmpMessage::Unreachable { code, .. }) => {
+                assert_eq!(code, UnreachableCode::Port);
+            }
+            _ => panic!("not unreachable"),
+        }
+    }
+
+    #[test]
+    fn tcp_rst_acks_syn() {
+        let probe = tcp_probe(V, D, 64, 44000, 80);
+        let rst = tcp_rst(&probe, D).unwrap();
+        match rst.payload {
+            Payload::Tcp(seg) => {
+                assert!(seg.flags.rst());
+                assert_eq!(seg.dst_port, 44000);
+                assert_eq!(seg.src_port, 80);
+            }
+            _ => panic!("not tcp"),
+        }
+        // RST to a non-SYN is refused.
+        assert!(tcp_rst(&rst, D).is_none());
+    }
+
+    #[test]
+    fn all_builders_produce_decodable_wire_bytes() {
+        let probes = [
+            icmp_probe(V, D, 1, 1, 1),
+            udp_probe(V, D, 1, 40000, 33435),
+            tcp_probe(V, D, 1, 40000, 80),
+        ];
+        for p in &probes {
+            assert_eq!(&Packet::decode(&p.encode()).unwrap(), p);
+            let e = ttl_exceeded(p, R);
+            assert_eq!(Packet::decode(&e.encode()).unwrap(), e);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Decode errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a byte buffer cannot be decoded as a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer is shorter than the header or declared length requires.
+    Truncated,
+    /// The IP version field is not 4.
+    NotIpv4,
+    /// The IHL field is smaller than 5 or larger than the buffer allows.
+    BadHeaderLen,
+    /// The total-length field disagrees with the buffer.
+    BadTotalLen,
+    /// A header or segment checksum does not verify.
+    BadChecksum,
+    /// The IP protocol number is not one this crate models.
+    UnsupportedProtocol(u8),
+    /// The ICMP type/code combination is not one this crate models.
+    UnsupportedIcmp {
+        /// ICMP type octet.
+        icmp_type: u8,
+        /// ICMP code octet.
+        code: u8,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "buffer truncated"),
+            DecodeError::NotIpv4 => write!(f, "not an IPv4 packet"),
+            DecodeError::BadHeaderLen => write!(f, "invalid IPv4 header length"),
+            DecodeError::BadTotalLen => write!(f, "invalid IPv4 total length"),
+            DecodeError::BadChecksum => write!(f, "checksum mismatch"),
+            DecodeError::UnsupportedProtocol(p) => write!(f, "unsupported IP protocol {p}"),
+            DecodeError::UnsupportedIcmp { icmp_type, code } => {
+                write!(f, "unsupported ICMP type {icmp_type} code {code}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(DecodeError::Truncated.to_string(), "buffer truncated");
+        assert_eq!(DecodeError::UnsupportedProtocol(99).to_string(), "unsupported IP protocol 99");
+        assert_eq!(
+            DecodeError::UnsupportedIcmp { icmp_type: 13, code: 0 }.to_string(),
+            "unsupported ICMP type 13 code 0"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! ICMP vs UDP vs TCP probing on one network — the paper's Table 3 in
+//! miniature, showing why "our implementation of tracenet is completely
+//! based on ICMP probes".
+//!
+//! ```text
+//! cargo run --release --example protocol_shootout [seed]
+//! ```
+
+use evalkit::run::run_tracenet;
+use netsim::Network;
+use probe::Protocol;
+use topogen::{isp_internet_with, default_isps, IspInternetSpec};
+use tracenet::TracenetOptions;
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    // A pocket-size single-ISP internet so the example runs in a blink.
+    let mut isps = default_isps();
+    isps.truncate(1); // sprintlink only
+    isps[0].pops = 6;
+    isps[0].chains_per_pop = 3;
+    isps[0].dense_24s = 1;
+    let scenario = isp_internet_with(IspInternetSpec {
+        seed,
+        isps,
+        targets_per_isp: 80,
+        target_coverage: 0.5,
+    });
+    let rice = scenario.vantage("rice");
+
+    println!("{:>6} {:>9} {:>10} {:>8}", "proto", "subnets", "addresses", "probes");
+    let mut net = Network::new(scenario.topology.clone());
+    for proto in [Protocol::Icmp, Protocol::Udp, Protocol::Tcp] {
+        let collected = run_tracenet(
+            &mut net,
+            rice,
+            &scenario.targets,
+            proto,
+            &TracenetOptions::default(),
+        );
+        println!(
+            "{:>6} {:>9} {:>10} {:>8}",
+            format!("{proto:?}"),
+            collected.prefixes().len(),
+            collected.addresses().len(),
+            collected.probes
+        );
+    }
+    println!();
+    println!("paper, Table 3 (all four ISPs): ICMP 11995, UDP 3779, TCP 68 —");
+    println!("\"ICMP protocol probing clearly outperforms UDP and TCP\".");
+}
