@@ -30,11 +30,8 @@ fn lan_topology(len: u8) -> (Topology, Addr, Addr) {
     let mut target = None;
     for k in 1..=members {
         let addr = Addr::from_u32(lan_prefix.network().to_u32() + k);
-        let owner = if k == 1 {
-            gw
-        } else {
-            b.router(format!("leaf{k}"), RouterConfig::cooperative())
-        };
+        let owner =
+            if k == 1 { gw } else { b.router(format!("leaf{k}"), RouterConfig::cooperative()) };
         b.attach(owner, lan, addr).unwrap();
         if k == target_k {
             target = Some(addr);
@@ -53,9 +50,7 @@ fn bench_exploration(c: &mut Criterion) {
                 || Network::new(topo.clone()),
                 |mut net| {
                     let mut prober = SimProber::new(&mut net, vantage);
-                    black_box(
-                        Session::new(&mut prober, TracenetOptions::default()).run(target),
-                    );
+                    black_box(Session::new(&mut prober, TracenetOptions::default()).run(target));
                     net
                 },
                 BatchSize::LargeInput,

@@ -6,6 +6,7 @@
 
 use bench_suite::{isp_experiment, SEED};
 use evalkit::render::table;
+use obs::Phase;
 
 fn main() {
     let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(SEED);
@@ -25,6 +26,19 @@ fn main() {
         })
         .collect();
     print!("{}", table(&headers, &rows));
+    println!();
+    println!("probe budget per vantage (from the telemetry registry):");
+    for run in &exp.runs {
+        let m = &run.metrics;
+        println!(
+            "  {:<8} trace {:>8} + position {:>8} + explore {:>8} = {:>9}",
+            run.vantage,
+            m.sent_in(Phase::Trace),
+            m.sent_in(Phase::Position),
+            m.sent_in(Phase::Explore),
+            m.sent_total()
+        );
+    }
     println!();
     println!("paper shape: per-ISP counts are close to each other across vantage");
     println!("points; SprintLink yields the most subnets and NTT America the");

@@ -13,8 +13,13 @@ fn main() {
     let exp = isp_experiment(seed);
     println!("== Figure 9: subnet prefix length distribution per vantage ==");
     println!("seed: {seed}");
-    for (vantage, series) in exp.prefix_series() {
-        println!("\n-- {vantage} (log-scale bars) --");
+    for ((vantage, series), run) in exp.prefix_series().into_iter().zip(&exp.runs) {
+        let m = &run.metrics;
+        println!(
+            "\n-- {vantage} (log-scale bars; {} explore probes of {} total) --",
+            m.sent_in(obs::Phase::Explore),
+            m.sent_total()
+        );
         for (len, count) in series {
             println!("/{len:<3} {count:>6}  {}", log_bar(count));
         }

@@ -5,9 +5,7 @@
 //! cargo run --release -p bench-suite --bin repro_all [seed]
 //! ```
 
-use bench_suite::{
-    ablation, isp_experiment, overhead_sweep, paper, table1, table2, table3, SEED,
-};
+use bench_suite::{ablation, isp_experiment, overhead_sweep, paper, table1, table2, table3, SEED};
 use evalkit::render::{log_bar, pct, table};
 
 fn main() {

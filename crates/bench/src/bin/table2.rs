@@ -6,14 +6,21 @@
 //! ```
 
 use bench_suite::{paper, table2, SEED};
+use obs::Phase;
 
 fn main() {
     let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(SEED);
     let r = table2(seed);
     println!("== Table 2: GEANT, original and collected subnet distribution ==");
     println!(
-        "seed: {seed}, probes: {}; §4.1.1 audit agrees with ground truth on {}/{} subnets",
-        r.probes, r.audit_agreement.0, r.audit_agreement.1
+        "seed: {seed}, probes: {} (trace {} / position {} / explore {}); \
+         §4.1.1 audit agrees with ground truth on {}/{} subnets",
+        r.probes,
+        r.metrics.sent_in(Phase::Trace),
+        r.metrics.sent_in(Phase::Position),
+        r.metrics.sent_in(Phase::Explore),
+        r.audit_agreement.0,
+        r.audit_agreement.1
     );
     println!();
     print!("{}", r.table);

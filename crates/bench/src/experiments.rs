@@ -2,10 +2,12 @@
 
 use std::collections::BTreeMap;
 
+use std::sync::Arc;
+
 use evalkit::accounting::{ip_accounting, prefix_length_series, subnet_count, IpAccounting};
 use evalkit::classify::{classify, SubnetTable};
 use evalkit::crossval::VennPartition;
-use evalkit::run::{run_tracenet, CollectedSet};
+use evalkit::run::{run_tracenet, run_tracenet_with, CollectedSet};
 use evalkit::similarity::{prefix_similarity, size_similarity, PrefixBounds};
 use inet::Prefix;
 use netsim::Network;
@@ -28,6 +30,9 @@ pub struct AccuracyResult {
     pub size_similarity: f64,
     /// Probes spent collecting (the audit's sweep probes not included).
     pub probes: u64,
+    /// Per-phase/per-heuristic probe accounting from the telemetry
+    /// registry (its totals equal `probes` exactly).
+    pub metrics: obs::MetricsSnapshot,
     /// §4.1.1 audit cross-check: (agreements with generator intent,
     /// subnets audited).
     pub audit_agreement: (usize, usize),
@@ -44,12 +49,14 @@ pub fn accuracy_experiment(scenario: Scenario) -> AccuracyResult {
     let gt: Vec<&GtSubnet> = scenario.ground_truth.of_network(&network).collect();
 
     let mut net = Network::new(scenario.topology.clone());
-    let collected = run_tracenet(
+    let registry = Arc::new(obs::Registry::new());
+    let collected = run_tracenet_with(
         &mut net,
         vantage,
         &targets,
         Protocol::Icmp,
         &TracenetOptions::default(),
+        &obs::Recorder::new().with_metrics(Arc::clone(&registry)),
     );
     let mut classifications = classify(&gt, &collected.records());
 
@@ -66,6 +73,7 @@ pub fn accuracy_experiment(scenario: Scenario) -> AccuracyResult {
         prefix_similarity: prefix_similarity(&classifications, bounds),
         size_similarity: size_similarity(&classifications, bounds),
         probes: collected.probes,
+        metrics: registry.snapshot(),
         audit_agreement,
     }
 }
@@ -98,6 +106,8 @@ pub struct VantageRun {
     pub vantage: String,
     /// Everything it collected.
     pub collected: CollectedSet,
+    /// Per-phase probe accounting for this vantage's collection.
+    pub metrics: obs::MetricsSnapshot,
 }
 
 /// The §4.2 cross-validation experiment: all three vantages trace the
@@ -116,18 +126,19 @@ pub const ISP_FLUCTUATION_PERIOD: u64 = 20_000;
 /// Runs the three-vantage ISP experiment (backs Figures 6–9).
 pub fn isp_experiment(seed: u64) -> IspExperiment {
     let scenario = isp_internet(seed);
-    let mut net =
-        Network::new(scenario.topology.clone()).with_fluctuation(ISP_FLUCTUATION_PERIOD);
+    let mut net = Network::new(scenario.topology.clone()).with_fluctuation(ISP_FLUCTUATION_PERIOD);
     let mut runs = Vec::new();
     for (name, addr) in scenario.vantages.clone() {
-        let collected = run_tracenet(
+        let registry = Arc::new(obs::Registry::new());
+        let collected = run_tracenet_with(
             &mut net,
             addr,
             &scenario.targets,
             Protocol::Icmp,
             &TracenetOptions::default(),
+            &obs::Recorder::new().with_metrics(Arc::clone(&registry)),
         );
-        runs.push(VantageRun { vantage: name, collected });
+        runs.push(VantageRun { vantage: name, collected, metrics: registry.snapshot() });
     }
     IspExperiment { scenario, runs }
 }
@@ -158,12 +169,7 @@ impl IspExperiment {
                 let rows = ISP_NAMES
                     .iter()
                     .map(|isp| {
-                        ip_accounting(
-                            &r.collected,
-                            isp,
-                            isp_region(isp),
-                            &self.scenario.targets,
-                        )
+                        ip_accounting(&r.collected, isp, isp_region(isp), &self.scenario.targets)
                     })
                     .collect();
                 (r.vantage.clone(), rows)
@@ -257,11 +263,8 @@ pub fn overhead_sweep() -> Vec<OverheadPoint> {
         let mut members = Vec::new();
         for (k, &off) in offsets.iter().enumerate() {
             let addr = inet::Addr::from_u32(base + off);
-            let owner = if k == 0 {
-                gw
-            } else {
-                b.router(format!("leaf{k}"), RouterConfig::cooperative())
-            };
+            let owner =
+                if k == 0 { gw } else { b.router(format!("leaf{k}"), RouterConfig::cooperative()) };
             b.attach(owner, lan, addr).expect("attach member");
             members.push(addr);
         }
@@ -336,8 +339,7 @@ pub fn ablation(seed: u64) -> Vec<AblationRow> {
         rows.push(row(&format!("without H{rule}"), &table, probes));
     }
     {
-        let opts =
-            TracenetOptions { utilization_stop: false, ..TracenetOptions::default() };
+        let opts = TracenetOptions { utilization_stop: false, ..TracenetOptions::default() };
         let (table, probes) = run_with(&opts);
         rows.push(row("without utilization stop", &table, probes));
     }
@@ -383,8 +385,7 @@ pub fn table3(seed: u64) -> BTreeMap<&'static str, [usize; 3]> {
         let collected =
             run_tracenet(&mut net, rice, &scenario.targets, proto, &TracenetOptions::default());
         for &name in &ISP_NAMES {
-            out.get_mut(name).expect("known isp")[k] =
-                subnet_count(&collected, isp_region(name));
+            out.get_mut(name).expect("known isp")[k] = subnet_count(&collected, isp_region(name));
         }
     }
     out

@@ -16,8 +16,7 @@ pub const SIMILARITY: (f64, f64, f64, f64) = (0.83, 0.900, 0.86, 0.907);
 
 /// Table 3: subnets collected per ISP and protocol at PlanetLab Rice,
 /// rows in [`ISP_ORDER`] order, columns ICMP/UDP/TCP.
-pub const T3: [[u64; 3]; 4] =
-    [[4482, 1834, 13], [1593, 106, 4], [3587, 1062, 11], [2333, 777, 40]];
+pub const T3: [[u64; 3]; 4] = [[4482, 1834, 13], [1593, 106, 4], [3587, 1062, 11], [2333, 777, 40]];
 
 /// ISP display order of Table 3 and Figures 7–8.
 pub const ISP_ORDER: [&str; 4] = ["sprintlink", "ntt", "level3", "abovenet"];

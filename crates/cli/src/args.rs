@@ -13,13 +13,20 @@ pub struct Opts {
 impl Opts {
     /// Parses `argv`. A token starting with `--` becomes a flag; known
     /// boolean flags take no value, any other flag consumes the next
-    /// non-`--` token as its value.
+    /// non-`--` token as its value. The verbosity shorthands `-v` and
+    /// `-vv` are the only single-dash tokens accepted.
     pub fn parse(argv: &[String]) -> Result<Opts, String> {
         /// Flags that never take a value.
-        const BOOLEAN: [&str; 3] = ["json", "all", "paris"];
+        const BOOLEAN: [&str; 5] = ["json", "all", "paris", "v", "vv"];
         let mut out = Opts::default();
         let mut it = argv.iter().peekable();
         while let Some(tok) = it.next() {
+            if tok == "-v" || tok == "-vv" {
+                if out.flags.insert(tok[1..].to_string(), "true".to_string()).is_some() {
+                    return Err(format!("flag {tok} given twice"));
+                }
+                continue;
+            }
             if let Some(name) = tok.strip_prefix("--") {
                 if name.is_empty() {
                     return Err("empty flag name `--`".to_string());
@@ -28,9 +35,7 @@ impl Opts {
                     "true".to_string()
                 } else {
                     match it.peek() {
-                        Some(next) if !next.starts_with("--") => {
-                            it.next().expect("peeked").clone()
-                        }
+                        Some(next) if !next.starts_with("--") => it.next().expect("peeked").clone(),
                         _ => return Err(format!("flag --{name} needs a value")),
                     }
                 };
@@ -62,6 +67,17 @@ impl Opts {
     /// Whether a boolean flag was given.
     pub fn has(&self, name: &str) -> bool {
         self.flags.contains_key(name)
+    }
+
+    /// Verbosity level: 0 (default), 1 (`-v`), 2 (`-vv`).
+    pub fn verbosity(&self) -> u8 {
+        if self.has("vv") {
+            2
+        } else if self.has("v") {
+            1
+        } else {
+            0
+        }
     }
 
     /// A parsed flag value with a default.
@@ -109,8 +125,19 @@ mod tests {
 
     #[test]
     fn duplicate_flags_rejected() {
-        let v: Vec<String> =
-            ["--seed", "1", "--seed", "2"].iter().map(|s| s.to_string()).collect();
+        let v: Vec<String> = ["--seed", "1", "--seed", "2"].iter().map(|s| s.to_string()).collect();
+        assert!(Opts::parse(&v).is_err());
+    }
+
+    #[test]
+    fn verbosity_shorthands_parse() {
+        assert_eq!(parse(&[]).verbosity(), 0);
+        assert_eq!(parse(&["-v"]).verbosity(), 1);
+        assert_eq!(parse(&["-vv"]).verbosity(), 2);
+        // `-v` does not swallow the next token.
+        let o = parse(&["-v", "scenario.json"]);
+        assert_eq!(o.positional(0), Some("scenario.json"));
+        let v: Vec<String> = ["-v", "-v"].iter().map(|s| s.to_string()).collect();
         assert!(Opts::parse(&v).is_err());
     }
 

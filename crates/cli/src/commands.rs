@@ -1,6 +1,8 @@
 //! The CLI subcommands. Each is a pure function from parsed options to
 //! output text, which keeps them directly testable.
 
+use std::sync::Arc;
+
 use inet::{Addr, Prefix};
 use netsim::Network;
 use probe::{Protocol, SimProber};
@@ -31,16 +33,12 @@ fn vantage(scenario: &Scenario, opts: &Opts) -> Result<Addr, String> {
             .first()
             .map(|&(_, a)| a)
             .ok_or_else(|| "scenario has no vantage points".to_string()),
-        Some(name) => scenario
-            .vantages
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, a)| a)
-            .ok_or_else(|| {
-                let known: Vec<&str> =
-                    scenario.vantages.iter().map(|(n, _)| n.as_str()).collect();
+        Some(name) => {
+            scenario.vantages.iter().find(|(n, _)| n == name).map(|&(_, a)| a).ok_or_else(|| {
+                let known: Vec<&str> = scenario.vantages.iter().map(|(n, _)| n.as_str()).collect();
                 format!("no vantage {name:?}; scenario has {known:?}")
-            }),
+            })
+        }
     }
 }
 
@@ -99,6 +97,35 @@ pub fn info(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
+/// A metrics registry paired with the file path its snapshot goes to.
+type MetricsOut = Option<(Arc<obs::Registry>, String)>;
+
+/// Builds the probe-telemetry recorder from `--trace-log` / `--metrics`,
+/// and installs the span subscriber for `-v` / `-vv`. Returns the
+/// recorder plus the metrics registry and output path, when requested.
+fn recorder_from(opts: &Opts) -> Result<(obs::Recorder, MetricsOut), String> {
+    match opts.verbosity() {
+        0 => {}
+        1 => obs::trace::set_subscriber(obs::Level::Info, Box::new(obs::trace::FmtSubscriber)),
+        _ => obs::trace::set_subscriber(obs::Level::Debug, Box::new(obs::trace::FmtSubscriber)),
+    }
+    let mut recorder = obs::Recorder::new();
+    if let Some(path) = opts.flag("trace-log") {
+        let sink = obs::JsonlSink::create(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        recorder = recorder.with_sink(obs::SinkHandle::new(sink));
+    }
+    let metrics = match opts.flag("metrics") {
+        Some(path) => {
+            let registry = Arc::new(obs::Registry::new());
+            recorder = recorder.with_metrics(Arc::clone(&registry));
+            Some((registry, path.to_string()))
+        }
+        None => None,
+    };
+    Ok((recorder, metrics))
+}
+
 /// `tracenet trace <scenario> (--target A | --all) [...]`
 pub fn trace(opts: &Opts) -> Result<String, String> {
     let scenario = load(opts)?;
@@ -106,6 +133,7 @@ pub fn trace(opts: &Opts) -> Result<String, String> {
     let proto = protocol(opts)?;
     let mut tn_opts = TracenetOptions::default();
     tn_opts.max_ttl = opts.flag_parse("max-ttl", tn_opts.max_ttl)?;
+    let (recorder, metrics) = recorder_from(opts)?;
 
     let targets: Vec<Addr> = if opts.has("all") {
         scenario.targets.clone()
@@ -119,13 +147,25 @@ pub fn trace(opts: &Opts) -> Result<String, String> {
     let mut out = String::new();
     let mut reports = Vec::new();
     for (k, &target) in targets.iter().enumerate() {
-        let mut prober = SimProber::with_protocol(&mut net, v, proto).ident(k as u16 ^ 0x7ace);
-        let report = Session::new(&mut prober, tn_opts).run(target);
+        let mut prober = SimProber::with_protocol(&mut net, v, proto)
+            .ident(k as u16 ^ 0x7ace)
+            .recorder(recorder.clone());
+        let report = Session::new(&mut prober, tn_opts).with_recorder(recorder.clone()).run(target);
         if opts.has("json") {
             reports.push(report_to_json(&report));
         } else {
             out.push_str(&report.to_string());
             out.push('\n');
+        }
+    }
+    recorder.flush().map_err(|e| format!("--trace-log: {e}"))?;
+    if let Some((registry, path)) = metrics {
+        let snap = registry.snapshot();
+        let json =
+            serde_json::to_string_pretty(&snap.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(&path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+        if !opts.has("json") {
+            out.push_str(&snap.render_table());
         }
     }
     if opts.has("json") {
@@ -134,13 +174,24 @@ pub fn trace(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
+fn cost_to_json(c: &tracenet::PhaseCost) -> serde_json::Value {
+    serde_json::json!({
+        "trace": c.trace,
+        "position": c.position,
+        "explore": c.explore,
+        "total": c.total(),
+    })
+}
+
 fn report_to_json(r: &tracenet::TraceReport) -> serde_json::Value {
     serde_json::json!({
         "vantage": r.vantage.to_string(),
         "destination": r.destination.to_string(),
         "reached": r.destination_reached,
         "probes": r.total_probes,
+        "cost": cost_to_json(&r.phase_totals()),
         "hops": r.hops.iter().map(|h| serde_json::json!({
+            "cost": cost_to_json(&h.cost),
             "hop": h.hop,
             "addr": h.addr.map(|a| a.to_string()),
             "subnet": h.subnet.as_ref().map(|s| serde_json::json!({
@@ -167,8 +218,11 @@ pub fn traceroute_cmd(opts: &Opts) -> Result<String, String> {
     tr_opts.max_ttl = opts.flag_parse("max-ttl", tr_opts.max_ttl)?;
 
     let mut net = Network::new(scenario.topology.clone());
-    let mut prober = SimProber::with_protocol(&mut net, v, proto)
-        .flow_mode(if tr_opts.paris { probe::FlowMode::Paris } else { probe::FlowMode::Classic });
+    let mut prober = SimProber::with_protocol(&mut net, v, proto).flow_mode(if tr_opts.paris {
+        probe::FlowMode::Paris
+    } else {
+        probe::FlowMode::Classic
+    });
     let report = traceroute::traceroute(&mut prober, target, tr_opts);
     Ok(report.to_string())
 }
@@ -196,11 +250,7 @@ pub fn sweep(opts: &Opts) -> Result<String, String> {
     let mut net = Network::new(scenario.topology.clone());
     let mut prober = SimProber::new(&mut net, v);
     let alive = traceroute::ping_sweep(&mut prober, prefix);
-    let mut out = format!(
-        "{prefix}: {}/{} alive\n",
-        alive.len(),
-        prefix.probe_addrs().len()
-    );
+    let mut out = format!("{prefix}: {}/{} alive\n", alive.len(), prefix.probe_addrs().len());
     for a in alive {
         out.push_str(&format!("  {a}\n"));
     }
@@ -253,8 +303,7 @@ pub fn crossval(opts: &Opts) -> Result<String, String> {
         );
         sets.push((name, collected.prefixes()));
     }
-    let venn =
-        evalkit::crossval::VennPartition::compute(&sets[0].1, &sets[1].1, &sets[2].1);
+    let venn = evalkit::crossval::VennPartition::compute(&sets[0].1, &sets[1].1, &sets[2].1);
     let mut out = String::new();
     out.push_str(&format!(
         "vantages: {} ({}), {} ({}), {} ({})\n",
@@ -299,16 +348,12 @@ pub fn eval(opts: &Opts) -> Result<String, String> {
         collected.sessions
     );
     // Score per evaluated network.
-    let mut networks: Vec<String> = scenario
-        .ground_truth
-        .evaluated()
-        .map(|g| g.network.clone())
-        .collect();
+    let mut networks: Vec<String> =
+        scenario.ground_truth.evaluated().map(|g| g.network.clone()).collect();
     networks.sort();
     networks.dedup();
     for network in networks {
-        let gt: Vec<&topogen::GtSubnet> =
-            scenario.ground_truth.of_network(&network).collect();
+        let gt: Vec<&topogen::GtSubnet> = scenario.ground_truth.of_network(&network).collect();
         let mut cls = evalkit::classify::classify(&gt, &collected.records());
         let mut auditor = SimProber::new(&mut net, v);
         evalkit::audit::audit_classifications(&mut auditor, &mut cls);

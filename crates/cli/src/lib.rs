@@ -39,7 +39,10 @@ COMMANDS:
     info <scenario>           summarize a scenario file
     trace <scenario> (--target ADDR | --all) [--vantage NAME]
                               [--protocol icmp|udp|tcp] [--max-ttl N] [--json]
-                              run tracenet sessions
+                              [--trace-log FILE] [--metrics FILE] [-v|-vv]
+                              run tracenet sessions; --trace-log streams one
+                              JSON line per probe, --metrics writes per-phase
+                              counters, -v/-vv print span-structured progress
     traceroute <scenario> --target ADDR [--vantage NAME] [--paris]
                               [--queries N] run the baseline traceroute
     ping <scenario> --target ADDR [--vantage NAME] [--count N]

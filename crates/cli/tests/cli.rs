@@ -59,8 +59,7 @@ fn trace_single_target_prints_hops() {
     let json = std::fs::read_to_string(&path).unwrap();
     let scenario = topogen::io::from_json(&json).unwrap();
     let target = scenario.targets[0].to_string();
-    let out =
-        run(&["trace", path.to_str().unwrap(), "--target", &target]).unwrap();
+    let out = run(&["trace", path.to_str().unwrap(), "--target", &target]).unwrap();
     assert!(out.contains(&format!("tracenet to {target}")));
     assert!(out.contains("hops"));
     std::fs::remove_file(path).ok();
@@ -72,14 +71,7 @@ fn trace_json_output_parses_and_reaches() {
     let json = std::fs::read_to_string(&path).unwrap();
     let scenario = topogen::io::from_json(&json).unwrap();
     let target = scenario.targets[0].to_string();
-    let out = run(&[
-        "trace",
-        path.to_str().unwrap(),
-        "--target",
-        &target,
-        "--json",
-    ])
-    .unwrap();
+    let out = run(&["trace", path.to_str().unwrap(), "--target", &target, "--json"]).unwrap();
     let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
     assert_eq!(v[0]["destination"], target);
     assert_eq!(v[0]["reached"], true);
@@ -101,14 +93,19 @@ fn traceroute_ping_and_sweep_work() {
     let ping = run(&["ping", p, "--target", &target]).unwrap();
     assert!(ping.contains("3/3 replies"), "{ping}");
 
-    // Sweep the target's /30.
-    let prefix = format!(
-        "{}/30",
-        inet::Prefix::containing(scenario.targets[0], 30).network()
-    );
+    // Sweep the /30 of a target that is not a /30 boundary address —
+    // sweeps skip network/broadcast addresses by design, so a target
+    // sitting on one would never appear no matter how alive it is.
+    let sweep_target = scenario
+        .targets
+        .iter()
+        .copied()
+        .find(|&t| !inet::Prefix::containing(t, 30).is_boundary(t))
+        .expect("scenario has a target off /30 boundaries");
+    let prefix = format!("{}/30", inet::Prefix::containing(sweep_target, 30).network());
     let sweep = run(&["sweep", p, "--prefix", &prefix]).unwrap();
     assert!(sweep.contains("alive"));
-    assert!(sweep.contains(&target));
+    assert!(sweep.contains(&sweep_target.to_string()), "{sweep}");
     std::fs::remove_file(path).ok();
 }
 

@@ -28,6 +28,8 @@ pub fn explore<P: Prober>(
     trace_prev: Option<Addr>,
     opts: &TracenetOptions,
 ) -> ObservedSubnet {
+    let _span =
+        obs::span!(obs::Level::Debug, "explore", "pivot={} jh={}", pos.pivot, pos.pivot_dist);
     let ctx = Context {
         pivot: pos.pivot,
         jh: pos.pivot_dist,
@@ -42,8 +44,7 @@ pub fn explore<P: Prober>(
     let arena = Prefix::containing(pos.pivot, opts.min_prefix_len);
     let mut record = SubnetRecord::new(arena, [pos.pivot]).expect("pivot is inside its arena");
     let mut contra_pivot: Option<Addr> = None;
-    let mut examined: std::collections::HashSet<Addr> =
-        std::iter::once(pos.pivot).collect();
+    let mut examined: std::collections::HashSet<Addr> = std::iter::once(pos.pivot).collect();
     let mut stop = StopCause::PrefixFloor;
     let mut level = opts.min_prefix_len; // last fully swept level
 
@@ -63,6 +64,10 @@ pub fn explore<P: Prober>(
                 }
                 Decision::Skip => {}
                 Decision::StopAndShrink { by } => {
+                    obs::trace_event!(
+                        obs::Level::Debug,
+                        "H1 stop-and-shrink at {l}: H{by} violated"
+                    );
                     // H1: revert to the last known valid prefix (m+1) and
                     // drop everything outside it.
                     let valid = Prefix::containing(pos.pivot, m + 1);
@@ -112,12 +117,7 @@ pub fn explore<P: Prober>(
     observed
 }
 
-fn shrink(
-    record: &mut SubnetRecord,
-    contra_pivot: &mut Option<Addr>,
-    to: Prefix,
-    _pivot: Addr,
-) {
+fn shrink(record: &mut SubnetRecord, contra_pivot: &mut Option<Addr>, to: Prefix, _pivot: Addr) {
     record.shrink_to(to);
     if contra_pivot.is_some_and(|c| !record.contains(c)) {
         *contra_pivot = None;

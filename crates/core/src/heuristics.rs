@@ -30,6 +30,7 @@
 //!   rules pass without probing.
 
 use inet::Addr;
+use obs::Cause;
 use probe::{ProbeOutcome, Prober};
 
 use crate::options::HeuristicSet;
@@ -103,7 +104,11 @@ pub fn examine<P: Prober>(
     // farther from the investigated subnet": ⟨l, jʰ⟩ must draw ECHO_RPLY;
     // TTL_EXCD means l lies beyond the subnet → stop-and-shrink; silence
     // means not in use → next address.
-    match prober.probe(l, jh) {
+    let aliveness = {
+        let _cause = obs::cause_scope(Cause::H2);
+        prober.probe(l, jh)
+    };
+    match aliveness {
         ProbeOutcome::DirectReply { .. } => {}
         ProbeOutcome::TtlExceeded { .. } => {
             if ctx.set.h2_upper_bound_subnet_contiguity {
@@ -122,15 +127,21 @@ pub fn examine<P: Prober>(
         if l == ctx.pivot.mate31() {
             return Decision::Add;
         }
-        if l == ctx.pivot.mate30()
-            && !matches!(prober.probe(ctx.pivot.mate31(), jh), ProbeOutcome::DirectReply { .. })
-        {
+        if l == ctx.pivot.mate30() && {
+            let _cause = obs::cause_scope(Cause::H5);
+            !matches!(prober.probe(ctx.pivot.mate31(), jh), ProbeOutcome::DirectReply { .. })
+        } {
             return Decision::Add;
         }
     }
 
     // Shared probe for H3/H6 (the paper's merged single probe).
-    let below = if jh >= 2 { Some(prober.probe(l, jh - 1)) } else { None };
+    let below = if jh >= 2 {
+        let _cause = obs::cause_scope(Cause::H3);
+        Some(prober.probe(l, jh - 1))
+    } else {
+        None
+    };
 
     // ---- H3: single contra-pivot interface -------------------------------
     // An ECHO_RPLY at jʰ−1 marks l as contra-pivot material; a second one
@@ -144,6 +155,7 @@ pub fn examine<P: Prober>(
             // Confidence check on the contra-pivot: it must NOT answer
             // at jʰ−2 (else it is closer than a contra-pivot can be).
             if ctx.set.h4_lower_bound_subnet_contiguity && jh >= 3 {
+                let _cause = obs::cause_scope(Cause::H4);
                 if let ProbeOutcome::DirectReply { .. } = prober.probe(l, jh - 2) {
                     return Decision::StopAndShrink { by: 4 };
                 }
@@ -201,7 +213,10 @@ pub fn examine<P: Prober>(
             if ctx.set.h8_lower_bound_router_contiguity
                 && contra_pivot != Some(mate)
                 && jh >= 2
-                && matches!(prober.probe(mate, jh - 1), ProbeOutcome::DirectReply { .. })
+                && {
+                    let _cause = obs::cause_scope(Cause::H8);
+                    matches!(prober.probe(mate, jh - 1), ProbeOutcome::DirectReply { .. })
+                }
             {
                 return Decision::StopAndShrink { by: 8 };
             }
@@ -224,6 +239,7 @@ fn mate_view<P: Prober>(
     ctx: &Context,
     l: Addr,
 ) -> Option<(Addr, ProbeOutcome)> {
+    let _cause = obs::cause_scope(Cause::H7);
     let m31 = l.mate31();
     if m31 == ctx.pivot || members.is_member(m31) {
         return None;
@@ -267,11 +283,7 @@ mod tests {
     }
 
     fn empty_members() -> SubnetRecord {
-        SubnetRecord::new(
-            "10.0.2.0/24".parse::<Prefix>().unwrap(),
-            [a("10.0.2.3")],
-        )
-        .unwrap()
+        SubnetRecord::new("10.0.2.0/24".parse::<Prefix>().unwrap(), [a("10.0.2.3")]).unwrap()
     }
 
     /// A fully-passing member: alive at jh, TTL_EXCD from ingress at jh−1,
@@ -303,10 +315,7 @@ mod tests {
         let mut p = ScriptedProber::new(a("10.0.0.0"));
         p.script(l, 3, ProbeOutcome::TtlExceeded { from: a("10.0.2.3") });
         let members = empty_members();
-        assert_eq!(
-            examine(&mut p, &c, &members, None, l),
-            Decision::StopAndShrink { by: 2 }
-        );
+        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::StopAndShrink { by: 2 });
         // Ablated: same outcome degrades to a skip.
         let mut c2 = ctx();
         c2.set = HeuristicSet::without(2);
@@ -382,10 +391,7 @@ mod tests {
         p.script(l, 2, ProbeOutcome::DirectReply { from: l });
         p.script(l, 1, ProbeOutcome::DirectReply { from: l }); // answers at jh−2!
         let members = empty_members();
-        assert_eq!(
-            examine(&mut p, &c, &members, None, l),
-            Decision::StopAndShrink { by: 4 }
-        );
+        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::StopAndShrink { by: 4 });
         // Ablated H4: accepted as contra-pivot despite the near reply.
         let mut c2 = ctx();
         c2.set = HeuristicSet::without(4);
@@ -401,10 +407,7 @@ mod tests {
         // Entered through a router that is neither i nor u.
         p.script(l, 2, ProbeOutcome::TtlExceeded { from: a("10.0.7.7") });
         let members = empty_members();
-        assert_eq!(
-            examine(&mut p, &c, &members, None, l),
-            Decision::StopAndShrink { by: 6 }
-        );
+        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::StopAndShrink { by: 6 });
     }
 
     #[test]
@@ -423,10 +426,7 @@ mod tests {
         let mut p2 = ScriptedProber::new(a("10.0.0.0"));
         p2.script(l, 3, ProbeOutcome::DirectReply { from: l });
         p2.script(l, 2, ProbeOutcome::TtlExceeded { from: a("10.0.1.1") });
-        assert_eq!(
-            examine(&mut p2, &c, &members, None, l),
-            Decision::StopAndShrink { by: 6 }
-        );
+        assert_eq!(examine(&mut p2, &c, &members, None, l), Decision::StopAndShrink { by: 6 });
     }
 
     #[test]
@@ -452,10 +452,7 @@ mod tests {
         p.script(l, 2, ProbeOutcome::TtlExceeded { from: a("10.0.1.1") });
         p.script(mate, 3, ProbeOutcome::TtlExceeded { from: l });
         let members = empty_members();
-        assert_eq!(
-            examine(&mut p, &c, &members, None, l),
-            Decision::StopAndShrink { by: 7 }
-        );
+        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::StopAndShrink { by: 7 });
     }
 
     #[test]
@@ -469,10 +466,7 @@ mod tests {
         // mate31 silent, mate30 expires in transit → far fringe via /30.
         p.script(m30, 3, ProbeOutcome::TtlExceeded { from: l });
         let members = empty_members();
-        assert_eq!(
-            examine(&mut p, &c, &members, None, l),
-            Decision::StopAndShrink { by: 7 }
-        );
+        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::StopAndShrink { by: 7 });
     }
 
     #[test]
@@ -486,10 +480,7 @@ mod tests {
         p.script(mate, 3, ProbeOutcome::DirectReply { from: mate });
         p.script(mate, 2, ProbeOutcome::DirectReply { from: mate }); // closer!
         let members = empty_members();
-        assert_eq!(
-            examine(&mut p, &c, &members, None, l),
-            Decision::StopAndShrink { by: 8 }
-        );
+        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::StopAndShrink { by: 8 });
     }
 
     #[test]

@@ -102,10 +102,8 @@ mod tests {
 
     fn subnet() -> ObservedSubnet {
         let prefix: Prefix = "10.0.2.0/29".parse().unwrap();
-        let members: Vec<Addr> = ["10.0.2.1", "10.0.2.2", "10.0.2.3"]
-            .iter()
-            .map(|s| s.parse().unwrap())
-            .collect();
+        let members: Vec<Addr> =
+            ["10.0.2.1", "10.0.2.2", "10.0.2.3"].iter().map(|s| s.parse().unwrap()).collect();
         ObservedSubnet {
             record: SubnetRecord::new(prefix, members).unwrap(),
             pivot: "10.0.2.3".parse().unwrap(),

@@ -15,6 +15,7 @@
 //!    `pivotʰ − 1`?
 
 use inet::Addr;
+use obs::{Cause, Level};
 use probe::{ProbeOutcome, Prober};
 
 use crate::options::TracenetOptions;
@@ -48,6 +49,7 @@ pub fn perceived_distance<P: Prober>(
     d: u8,
     opts: &TracenetOptions,
 ) -> Option<u8> {
+    let _cause = obs::cause_scope(Cause::DistanceSearch);
     match prober.probe(v, d) {
         ProbeOutcome::DirectReply { .. } => {
             // Walk backward to the minimal delivering TTL.
@@ -75,9 +77,7 @@ pub fn perceived_distance<P: Prober>(
                 }
             }
             let lo = d.saturating_sub(opts.distance_search_span).max(1);
-            (lo..d)
-                .rev()
-                .find(|&t| matches!(prober.probe(v, t), ProbeOutcome::DirectReply { .. }))
+            (lo..d).rev().find(|&t| matches!(prober.probe(v, t), ProbeOutcome::DirectReply { .. }))
         }
     }
 }
@@ -95,12 +95,14 @@ pub fn position<P: Prober>(
     d: u8,
     opts: &TracenetOptions,
 ) -> Option<Positioning> {
+    let _span = obs::span!(Level::Debug, "position", "v={v} d={d}");
     let vh = perceived_distance(prober, v, d, opts)?;
 
     // Lines 2–10: on/off-the-trace-path.
     let on_path = if vh != d {
         false
     } else if vh >= 2 {
+        let _cause = obs::cause_scope(Cause::OnPathCheck);
         match prober.probe(v, vh - 1) {
             ProbeOutcome::TtlExceeded { from } => match u {
                 // "⟨v, vh−1⟩ ↪ ⟨u, TTL_EXCD⟩" — the hop-(d−1) router is
@@ -122,11 +124,16 @@ pub fn position<P: Prober>(
 
     // Line 22: the ingress interface answers ⟨pivot, pivotʰ−1⟩.
     let ingress = if pivot_dist >= 2 {
+        let _cause = obs::cause_scope(Cause::IngressQuery);
         prober.probe(pivot, pivot_dist - 1).ttl_exceeded()
     } else {
         None
     };
 
+    obs::trace_event!(
+        Level::Debug,
+        "positioned pivot={pivot} dist={pivot_dist} on_path={on_path} ingress={ingress:?}"
+    );
     Some(Positioning { pivot, pivot_dist, ingress, on_path, perceived_dist: vh })
 }
 
@@ -143,6 +150,7 @@ fn designate_pivot<P: Prober>(
     vh: u8,
     opts: &TracenetOptions,
 ) -> (Addr, u8) {
+    let _cause = obs::cause_scope(Cause::PivotDesignation);
     let beyond = match vh.checked_add(1) {
         Some(t) if t <= opts.max_ttl => t,
         _ => return (v, vh),
@@ -156,12 +164,13 @@ fn designate_pivot<P: Prober>(
                 return (v.mate30(), beyond);
             }
         }
-        outcome if outcome.is_silentish()
-            && matches!(prober.probe(v.mate30(), vh), ProbeOutcome::TtlExceeded { .. })
-                && in_use(prober, v.mate30(), beyond)
-            => {
-                return (v.mate30(), beyond);
-            }
+        outcome
+            if outcome.is_silentish()
+                && matches!(prober.probe(v.mate30(), vh), ProbeOutcome::TtlExceeded { .. })
+                && in_use(prober, v.mate30(), beyond) =>
+        {
+            return (v.mate30(), beyond);
+        }
         _ => {}
     }
     (v, vh)
@@ -169,6 +178,7 @@ fn designate_pivot<P: Prober>(
 
 /// "Is in use": a direct probe at the expected distance draws a reply.
 fn in_use<P: Prober>(prober: &mut P, addr: Addr, ttl: u8) -> bool {
+    let _cause = obs::cause_scope(Cause::InUseCheck);
     matches!(prober.probe(addr, ttl), ProbeOutcome::DirectReply { .. })
 }
 

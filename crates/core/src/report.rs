@@ -98,15 +98,23 @@ impl TraceReport {
         set
     }
 
+    /// Sums the per-hop phase costs into the session's probe budget —
+    /// the per-trace line of the paper's Table 2.
+    pub fn phase_totals(&self) -> PhaseCost {
+        let mut totals = PhaseCost::default();
+        for hop in &self.hops {
+            totals.trace += hop.cost.trace;
+            totals.position += hop.cost.position;
+            totals.explore += hop.cost.explore;
+        }
+        totals
+    }
+
     /// Trace addresses for which no subnet larger than a /32 singleton
     /// was found — Figure 7's "un-subnetized" population.
     pub fn unsubnetized_addresses(&self) -> BTreeSet<Addr> {
         let subnetized = self.subnetized_addresses();
-        self.hops
-            .iter()
-            .filter_map(|h| h.addr)
-            .filter(|a| !subnetized.contains(a))
-            .collect()
+        self.hops.iter().filter_map(|h| h.addr).filter(|a| !subnetized.contains(a)).collect()
     }
 }
 
@@ -136,6 +144,15 @@ impl fmt::Display for TraceReport {
             self.all_addresses().len(),
             self.total_probes,
             self.cache_hits,
+        )?;
+        let t = self.phase_totals();
+        writeln!(
+            f,
+            "probe budget: trace {} + position {} + explore {} = {}",
+            t.trace,
+            t.position,
+            t.explore,
+            t.total(),
         )
     }
 }
@@ -229,6 +246,15 @@ mod tests {
     fn phase_cost_totals() {
         let r = sample_report();
         assert_eq!(r.hops[0].cost.total(), 8);
+        let totals = r.phase_totals();
+        assert_eq!(totals, PhaseCost { trace: 4, position: 5, explore: 6 });
+        assert_eq!(totals.total(), 15);
+    }
+
+    #[test]
+    fn display_includes_the_probe_budget_line() {
+        let text = sample_report().to_string();
+        assert!(text.contains("probe budget: trace 4 + position 5 + explore 6 = 15"), "{text}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! interface l before moving to the next hop." (§3.3)
 
 use inet::Addr;
+use obs::{Cause, Level, Phase, Recorder};
 use probe::{CachingProber, ProbeOutcome, Prober};
 
 use crate::explore::explore;
@@ -20,6 +21,7 @@ use crate::report::{HopRecord, PhaseCost, TraceReport};
 pub struct Session<P: Prober> {
     prober: CachingProber<P>,
     opts: TracenetOptions,
+    recorder: Recorder,
 }
 
 impl<P: Prober> Session<P> {
@@ -27,12 +29,22 @@ impl<P: Prober> Session<P> {
     /// cache (§3.5's merged-rule optimization); the cache is cleared at
     /// every hop so stale answers never cross path-dynamics boundaries.
     pub fn new(prober: P, opts: TracenetOptions) -> Session<P> {
-        Session { prober: CachingProber::new(prober), opts }
+        Session { prober: CachingProber::new(prober), opts, recorder: Recorder::disabled() }
+    }
+
+    /// Attaches a session-level recorder. This does *not* make the
+    /// prober emit events (attach a recorder to the prober for that); it
+    /// feeds session-derived metrics, e.g. the probes-per-hop histogram.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Session<P> {
+        self.recorder = recorder;
+        self
     }
 
     /// Traces toward `destination`, exploring the subnet at every hop.
     pub fn run(mut self, destination: Addr) -> TraceReport {
         let vantage = self.prober.src();
+        let _session_span =
+            obs::span!(Level::Info, "session", "vantage={vantage} dst={destination}");
         let mut hops: Vec<HopRecord> = Vec::new();
         let mut prev_addr: Option<Addr> = None;
         let mut destination_reached = false;
@@ -40,9 +52,14 @@ impl<P: Prober> Session<P> {
         for d in 1..=self.opts.max_ttl {
             self.prober.clear();
             let sent_before = self.prober.stats().sent;
+            let _hop_span = obs::span!(Level::Debug, "hop", "d={d}");
 
             // --- Trace collection: one indirect probe at TTL d. --------
-            let outcome = self.prober.probe(destination, d);
+            let outcome = {
+                let _phase = obs::phase_scope(Phase::Trace);
+                let _cause = obs::cause_scope(Cause::TraceCollection);
+                self.prober.probe(destination, d)
+            };
             let (addr, reached) = match outcome {
                 ProbeOutcome::TtlExceeded { from } => (Some(from), false),
                 ProbeOutcome::DirectReply { from } => (Some(from), true),
@@ -70,23 +87,37 @@ impl<P: Prober> Session<P> {
                     });
                 if known {
                     record.repeated = true;
+                    obs::trace_event!(Level::Debug, "hop {d}: {v} already subnetized, skipping");
                 } else {
                     let before = self.prober.stats().sent;
-                    let positioning = position(&mut self.prober, prev_addr, v, d, &self.opts);
+                    let positioning = {
+                        let _phase = obs::phase_scope(Phase::Position);
+                        position(&mut self.prober, prev_addr, v, d, &self.opts)
+                    };
                     record.cost.position = self.prober.stats().sent - before;
 
                     if let Some(pos) = positioning {
                         if pos.on_path || self.opts.explore_off_path {
                             let before = self.prober.stats().sent;
-                            let subnet =
-                                explore(&mut self.prober, &pos, prev_addr, &self.opts);
+                            let subnet = {
+                                let _phase = obs::phase_scope(Phase::Explore);
+                                explore(&mut self.prober, &pos, prev_addr, &self.opts)
+                            };
                             record.cost.explore = self.prober.stats().sent - before;
+                            obs::trace_event!(
+                                Level::Debug,
+                                "hop {d}: collected {} ({} members, {} probes)",
+                                subnet.record.prefix(),
+                                subnet.record.len(),
+                                record.cost.explore,
+                            );
                             record.subnet = Some(subnet);
                         }
                     }
                 }
             }
 
+            self.recorder.record_hop_cost(record.cost.total());
             hops.push(record);
             prev_addr = addr;
             if reached {
@@ -118,8 +149,7 @@ mod tests {
         let (topo, names) = samples::chain(3);
         let mut net = Network::new(topo);
         let mut prober = SimProber::new(&mut net, names.addr("vantage"));
-        let report =
-            Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"));
+        let report = Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"));
         assert!(report.destination_reached);
         assert_eq!(report.hops.len(), 4);
         // Every hop's subnet is the /31 link it crossed.
@@ -139,8 +169,7 @@ mod tests {
         let (topo, names) = samples::figure3();
         let mut net = Network::new(topo);
         let mut prober = SimProber::new(&mut net, names.addr("vantage"));
-        let report =
-            Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"));
+        let report = Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"));
         assert!(report.destination_reached);
 
         // Hop 3 visits S = 10.0.2.0/29 and discovers exactly its four
@@ -176,8 +205,7 @@ mod tests {
         let d_side = mk(&mut b, r2, d, "10.0.2.0/31");
         let mut net = Network::new(b.build().unwrap());
         let mut prober = SimProber::new(&mut net, v_addr);
-        let report =
-            Session::new(&mut prober, TracenetOptions::default()).run(d_side.mate31());
+        let report = Session::new(&mut prober, TracenetOptions::default()).run(d_side.mate31());
         assert!(report.destination_reached);
         assert_eq!(report.hops.len(), 3);
         assert_eq!(report.hops[1].addr, None, "r2 is anonymous");
@@ -207,8 +235,7 @@ mod tests {
         let (topo, names) = samples::chain(2);
         let mut net = Network::new(topo);
         let mut prober = SimProber::new(&mut net, names.addr("vantage"));
-        let report =
-            Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"));
+        let report = Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"));
         // The destination (10.0.2.1) sits on the same /31 as hop 2's
         // collected subnet... hop 3 = dest: its address is in hop-3
         // subnet? Verify at least that no subnet is collected twice.
@@ -225,8 +252,7 @@ mod tests {
         let (topo, names) = samples::figure3();
         let mut net = Network::new(topo);
         let mut prober = SimProber::new(&mut net, names.addr("vantage"));
-        let report =
-            Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"));
+        let report = Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"));
         for hop in &report.hops {
             if let Some(s) = &hop.subnet {
                 let bound = 7 * s.record.len() as u64 + 7;

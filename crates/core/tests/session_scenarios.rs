@@ -77,8 +77,7 @@ fn off_path_subnets_respect_the_option() {
     };
 
     let mut with = build();
-    let report =
-        Session::new(&mut with, TracenetOptions::default()).run(dest);
+    let report = Session::new(&mut with, TracenetOptions::default()).run(dest);
     let hop2 = &report.hops[1];
     assert!(hop2.subnet.is_some(), "off-path subnets explored by default");
     assert!(!hop2.subnet.as_ref().unwrap().on_path);
@@ -101,8 +100,7 @@ fn reuse_option_controls_reexploration() {
     let (topo, names) = samples::chain(1);
     let mut net = Network::new(topo);
     let mut prober = SimProber::new(&mut net, names.addr("vantage"));
-    let report =
-        Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"));
+    let report = Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"));
     // Hop 1 = r1 reporting its incoming iface 10.0.0.1; its subnet is the
     // first /31. Hop 2 = dest on the second /31.
     assert_eq!(report.hops.len(), 2);

@@ -97,10 +97,8 @@ pub fn audit_agreement(entries: &[AuditEntry], ground_truth: &[&GtSubnet]) -> (u
             continue;
         };
         total += 1;
-        let expected_unresponsive = matches!(
-            gt.intent,
-            topogen::SubnetIntent::Filtered | topogen::SubnetIntent::Partial
-        );
+        let expected_unresponsive =
+            matches!(gt.intent, topogen::SubnetIntent::Filtered | topogen::SubnetIntent::Partial);
         let measured_unresponsive = e.verdict != Responsiveness::Responsive;
         if expected_unresponsive == measured_unresponsive {
             agree += 1;
@@ -140,8 +138,7 @@ mod tests {
         assert_eq!(e.verdict, Responsiveness::Partial);
         assert_eq!((e.alive, e.capacity), (3, 6));
 
-        let mut p =
-            scripted_range(&["10.0.2.1", "10.0.2.2", "10.0.2.3", "10.0.2.4", "10.0.2.5"]);
+        let mut p = scripted_range(&["10.0.2.1", "10.0.2.2", "10.0.2.3", "10.0.2.4", "10.0.2.5"]);
         assert_eq!(audit_prefix(&mut p, prefix).verdict, Responsiveness::Responsive);
     }
 
@@ -153,18 +150,11 @@ mod tests {
             class,
             unresponsive: true, // deliberately wrong on purpose
         };
-        let mut cls = vec![
-            mk(MatchClass::Exact, "10.0.0.0/30"),
-            mk(MatchClass::Missing, "10.0.2.0/29"),
-        ];
+        let mut cls =
+            vec![mk(MatchClass::Exact, "10.0.0.0/30"), mk(MatchClass::Missing, "10.0.2.0/29")];
         // The missing subnet's range is fully alive → tracenet's fault.
         let mut p = scripted_range(&[
-            "10.0.2.1",
-            "10.0.2.2",
-            "10.0.2.3",
-            "10.0.2.4",
-            "10.0.2.5",
-            "10.0.2.6",
+            "10.0.2.1", "10.0.2.2", "10.0.2.3", "10.0.2.4", "10.0.2.5", "10.0.2.6",
         ]);
         let log = audit_classifications(&mut p, &mut cls);
         assert_eq!(log.len(), 1, "only the miss is audited");

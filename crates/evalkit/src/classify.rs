@@ -105,18 +105,13 @@ pub fn classify(ground_truth: &[&GtSubnet], collected: &[SubnetRecord]) -> Vec<C
                 _ => {}
             }
             // 3. A collected subnet strictly containing the original.
-            if let Some(container) = collected
-                .iter()
-                .find(|c| c.prefix().covers(gt.prefix) && c.prefix() != gt.prefix)
+            if let Some(container) =
+                collected.iter().find(|c| c.prefix().covers(gt.prefix) && c.prefix() != gt.prefix)
             {
                 // Did the container absorb members of a *different*
                 // ground-truth subnet? Then this is a merge.
-                let foreign = container
-                    .members()
-                    .iter()
-                    .any(|&m| !gt.prefix.contains(m));
-                let class =
-                    if foreign { MatchClass::Merged } else { MatchClass::Overestimated };
+                let foreign = container.members().iter().any(|&m| !gt.prefix.contains(m));
+                let class = if foreign { MatchClass::Merged } else { MatchClass::Overestimated };
                 return Classification {
                     original: gt.prefix,
                     collected: vec![container.prefix()],
@@ -268,10 +263,7 @@ mod tests {
         let one_piece = vec![rec("10.0.0.0/30", &["10.0.0.1", "10.0.0.2"])];
         assert_eq!(classify(&[&g], &one_piece)[0].class, MatchClass::Underestimated);
 
-        let two_pieces = vec![
-            rec("10.0.0.0/30", &["10.0.0.1"]),
-            rec("10.0.0.8/30", &["10.0.0.9"]),
-        ];
+        let two_pieces = vec![rec("10.0.0.0/30", &["10.0.0.1"]), rec("10.0.0.8/30", &["10.0.0.9"])];
         let c = classify(&[&g], &two_pieces);
         assert_eq!(c[0].class, MatchClass::Split);
         assert_eq!(c[0].collected.len(), 2);
@@ -290,10 +282,12 @@ mod tests {
 
     #[test]
     fn table_reproduces_row_arithmetic() {
-        let subnets = [gt("10.0.0.0/30", &["10.0.0.1"], SubnetIntent::Normal),
+        let subnets = [
+            gt("10.0.0.0/30", &["10.0.0.1"], SubnetIntent::Normal),
             gt("10.0.1.0/30", &["10.0.1.1"], SubnetIntent::Normal),
             gt("10.0.2.0/30", &["10.0.2.1"], SubnetIntent::Filtered),
-            gt("10.1.0.0/29", &["10.1.0.1"], SubnetIntent::Partial)];
+            gt("10.1.0.0/29", &["10.1.0.1"], SubnetIntent::Partial),
+        ];
         let collected = vec![
             rec("10.0.0.0/30", &["10.0.0.1", "10.0.0.2"]),
             rec("10.0.1.0/30", &["10.0.1.1", "10.0.1.2"]),

@@ -33,15 +33,7 @@ impl VennPartition {
         b: &BTreeSet<Prefix>,
         c: &BTreeSet<Prefix>,
     ) -> VennPartition {
-        let mut v = VennPartition {
-            only_a: 0,
-            only_b: 0,
-            only_c: 0,
-            ab: 0,
-            ac: 0,
-            bc: 0,
-            abc: 0,
-        };
+        let mut v = VennPartition { only_a: 0, only_b: 0, only_c: 0, ab: 0, ac: 0, bc: 0, abc: 0 };
         let all: BTreeSet<&Prefix> = a.iter().chain(b).chain(c).collect();
         for p in all {
             match (a.contains(p), b.contains(p), c.contains(p)) {
@@ -152,12 +144,12 @@ mod tests {
         // Reconstruct Figure 6's published region counts and check the
         // quoted ~60% / ~80% rates emerge from our formulas.
         let v = VennPartition {
-            only_a: 1818,  // Rice only
-            only_b: 2746,  // UMass only
-            only_c: 2420,  // UOregon only
-            ab: 1525,      // Rice ∩ UMass
-            ac: 1431,      // Rice ∩ UOregon
-            bc: 2310,      // UMass ∩ UOregon
+            only_a: 1818, // Rice only
+            only_b: 2746, // UMass only
+            only_c: 2420, // UOregon only
+            ab: 1525,     // Rice ∩ UMass
+            ac: 1431,     // Rice ∩ UOregon
+            bc: 2310,     // UMass ∩ UOregon
             abc: 6342,
         };
         let all3 = v.all_three_rate();

@@ -132,8 +132,7 @@ mod tests {
         let (topo, names) = samples::figure3();
         let mut net = Network::new(topo);
         let mut prober = SimProber::new(&mut net, names.addr("vantage"));
-        let report =
-            Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"));
+        let report = Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"));
         let mut g = SubnetGraph::new();
         g.add_report(&report);
         g
@@ -187,11 +186,8 @@ mod tests {
         use tracenet::{HopRecord, PhaseCost, TraceReport};
         let a = |s: &str| -> Addr { s.parse().unwrap() };
         let subnet = |prefix: &str, m: &[&str]| tracenet::ObservedSubnet {
-            record: inet::SubnetRecord::new(
-                prefix.parse().unwrap(),
-                m.iter().map(|x| a(x)),
-            )
-            .unwrap(),
+            record: inet::SubnetRecord::new(prefix.parse().unwrap(), m.iter().map(|x| a(x)))
+                .unwrap(),
             pivot: a(m[0]),
             pivot_dist: 1,
             contra_pivot: None,

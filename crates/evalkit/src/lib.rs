@@ -36,6 +36,6 @@ pub mod render;
 pub mod run;
 pub mod similarity;
 
-pub use classify::{classify, Classification, MatchClass};
 pub use classify::SubnetTable;
+pub use classify::{classify, Classification, MatchClass};
 pub use run::CollectedSet;

@@ -56,10 +56,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = table(
             &["isp", "subnets"],
-            &[
-                vec!["sprintlink".into(), "4482".into()],
-                vec!["ntt".into(), "9".into()],
-            ],
+            &[vec!["sprintlink".into(), "4482".into()], vec!["ntt".into(), "9".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use inet::{Addr, Prefix, SubnetRecord};
 use netsim::Network;
-use probe::{Protocol, Prober, SimProber};
+use probe::{Prober, Protocol, SimProber};
 use tracenet::{Session, TraceReport, TracenetOptions};
 use traceroute::{TracerouteOptions, TracerouteReport};
 
@@ -112,11 +112,27 @@ pub fn run_tracenet(
     protocol: Protocol,
     opts: &TracenetOptions,
 ) -> CollectedSet {
+    run_tracenet_with(net, vantage, targets, protocol, opts, &obs::Recorder::disabled())
+}
+
+/// [`run_tracenet`] with a probe-telemetry recorder attached to every
+/// prober and session: the experiment binaries hang a metrics registry
+/// (and optionally a JSONL sink) on it and read per-phase numbers from
+/// the registry snapshot afterwards.
+pub fn run_tracenet_with(
+    net: &mut Network,
+    vantage: Addr,
+    targets: &[Addr],
+    protocol: Protocol,
+    opts: &TracenetOptions,
+    recorder: &obs::Recorder,
+) -> CollectedSet {
     let mut out = CollectedSet::default();
     for (k, &target) in targets.iter().enumerate() {
-        let mut prober =
-            SimProber::with_protocol(net, vantage, protocol).ident(k as u16 ^ 0x7ace);
-        let report = Session::new(&mut prober, *opts).run(target);
+        let mut prober = SimProber::with_protocol(net, vantage, protocol)
+            .ident(k as u16 ^ 0x7ace)
+            .recorder(recorder.clone());
+        let report = Session::new(&mut prober, *opts).with_recorder(recorder.clone()).run(target);
         out.probes += prober.stats().sent;
         out.add_report(&report);
     }
@@ -136,8 +152,7 @@ pub fn run_traceroute(
     let mut addrs = BTreeSet::new();
     let mut probes = 0;
     for (k, &target) in targets.iter().enumerate() {
-        let mut prober =
-            SimProber::with_protocol(net, vantage, protocol).ident(k as u16 ^ 0x1dea);
+        let mut prober = SimProber::with_protocol(net, vantage, protocol).ident(k as u16 ^ 0x1dea);
         let report = traceroute::traceroute(&mut prober, target, *opts);
         probes += prober.stats().sent;
         addrs.extend(report.all_addresses());
@@ -167,6 +182,25 @@ mod tests {
         assert_eq!(set.addresses().len(), 8);
         assert!(set.unsubnetized_addresses(None).is_empty());
         assert!(set.probes > 0);
+    }
+
+    #[test]
+    fn recorder_variant_accounts_every_probe() {
+        let (topo, names) = samples::chain(3);
+        let mut net = Network::new(topo);
+        let metrics = std::sync::Arc::new(obs::Registry::new());
+        let recorder = obs::Recorder::new().with_metrics(std::sync::Arc::clone(&metrics));
+        let set = run_tracenet_with(
+            &mut net,
+            names.addr("vantage"),
+            &[names.addr("dest")],
+            Protocol::Icmp,
+            &TracenetOptions::default(),
+            &recorder,
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.sent_total(), set.probes);
+        assert_eq!(snap.sent_unattributed(), 0);
     }
 
     #[test]
@@ -213,13 +247,8 @@ mod tests {
         let mut net = Network::new(topo);
         let v = names.addr("vantage");
         let d = names.addr("dest");
-        let (reports, tr_addrs, probes) = run_traceroute(
-            &mut net,
-            v,
-            &[d],
-            Protocol::Icmp,
-            &TracerouteOptions::default(),
-        );
+        let (reports, tr_addrs, probes) =
+            run_traceroute(&mut net, v, &[d], Protocol::Icmp, &TracerouteOptions::default());
         assert_eq!(reports.len(), 1);
         assert!(probes > 0);
         let tn = run_tracenet(&mut net, v, &[d], Protocol::Icmp, &TracenetOptions::default());

@@ -71,8 +71,7 @@ pub fn size_distance(c: &Classification, bounds: PrefixBounds) -> f64 {
             hi.max(lo)
         }
         MatchClass::Split => {
-            let biggest =
-                c.collected.iter().map(|p| size(p.len())).fold(0.0f64, f64::max);
+            let biggest = c.collected.iter().map(|p| size(p.len())).fold(0.0f64, f64::max);
             (so - biggest).abs()
         }
     }
@@ -82,11 +81,7 @@ pub fn size_distance(c: &Classification, bounds: PrefixBounds) -> f64 {
 /// distance factors.
 pub fn minkowski(distances: &[f64], k: u32) -> f64 {
     assert!(k >= 1);
-    distances
-        .iter()
-        .map(|d| d.powi(k as i32))
-        .sum::<f64>()
-        .powf(1.0 / k as f64)
+    distances.iter().map(|d| d.powi(k as i32)).sum::<f64>().powf(1.0 / k as f64)
 }
 
 /// Equation (3): normalized prefix similarity (k = 1); 1 = identical,
@@ -167,11 +162,7 @@ mod tests {
 
     #[test]
     fn split_uses_the_extreme_piece() {
-        let s = cls(
-            "10.0.0.0/28",
-            &["10.0.0.0/30", "10.0.0.8/31"],
-            MatchClass::Split,
-        );
+        let s = cls("10.0.0.0/28", &["10.0.0.0/30", "10.0.0.8/31"], MatchClass::Split);
         // Equation (1): |28 − max{30, 31}| = 3.
         assert_eq!(prefix_distance(&s, B), 3.0);
         // Equation (4): |16 − max{4, 2}| = 12.

@@ -160,9 +160,9 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        for s in [
-            "", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1.2.3.x", "01.2.3.4", " 1.2.3.4", "1..2.3",
-        ] {
+        for s in
+            ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1.2.3.x", "01.2.3.4", " 1.2.3.4", "1..2.3"]
+        {
             assert!(s.parse::<Addr>().is_err(), "{s:?} should not parse");
         }
     }

@@ -126,10 +126,7 @@ impl Prefix {
         }
         let l = self.len + 1;
         let lo = Prefix::containing(self.base, l);
-        let hi = Prefix::containing(
-            Addr::from_u32(self.base.to_u32() | (1 << (32 - l))),
-            l,
-        );
+        let hi = Prefix::containing(Addr::from_u32(self.base.to_u32() | (1 << (32 - l))), l);
         Some((lo, hi))
     }
 

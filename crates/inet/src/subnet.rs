@@ -90,11 +90,7 @@ impl SubnetRecord {
     /// Panics if `prefix` does not cover at least one existing member's
     /// position, i.e. if it is unrelated to the current prefix.
     pub fn shrink_to(&mut self, prefix: Prefix) {
-        assert!(
-            self.prefix.covers(prefix),
-            "shrink target {prefix} is not inside {}",
-            self.prefix
-        );
+        assert!(self.prefix.covers(prefix), "shrink target {prefix} is not inside {}", self.prefix);
         self.prefix = prefix;
         self.members.retain(|&m| prefix.contains(m));
     }
@@ -146,9 +142,8 @@ mod tests {
 
     #[test]
     fn new_sorts_and_dedups() {
-        let s =
-            SubnetRecord::new(p("10.0.0.0/29"), [a("10.0.0.3"), a("10.0.0.1"), a("10.0.0.3")])
-                .unwrap();
+        let s = SubnetRecord::new(p("10.0.0.0/29"), [a("10.0.0.3"), a("10.0.0.1"), a("10.0.0.3")])
+            .unwrap();
         assert_eq!(s.members(), &[a("10.0.0.1"), a("10.0.0.3")]);
         assert_eq!(s.len(), 2);
     }

@@ -163,6 +163,15 @@ impl Network {
         if let Some(t) = self.trace.as_mut() {
             t.clear();
         }
+        obs::trace_event!(
+            obs::Level::Trace,
+            "net: inject tick={} {} -> {} ttl={} proto={:?}",
+            self.tick,
+            probe.header.src,
+            probe.header.dst,
+            probe.header.ttl,
+            probe.header.protocol
+        );
         let verdict = self.walk(probe);
         if let Verdict::Silent(reason) = &verdict {
             self.log(Event::Dropped { reason: *reason });
@@ -171,8 +180,26 @@ impl Network {
     }
 
     fn log(&mut self, e: Event) {
+        if obs::trace::enabled(obs::Level::Trace) {
+            obs::trace::dispatch(obs::Level::Trace, &format!("net: {}", self.describe(&e)));
+        }
         if let Some(t) = self.trace.as_mut() {
             t.push(e);
+        }
+    }
+
+    /// Renders a walk event with router names for the trace facade.
+    fn describe(&self, e: &Event) -> String {
+        let name = |r: RouterId| self.topo.router(r).name.as_str();
+        match *e {
+            Event::Arrived { at, ttl } => format!("arrived at {} ttl={ttl}", name(at)),
+            Event::Forwarded { from, to } => {
+                format!("forwarded {} -> {}", name(from), name(to))
+            }
+            Event::TtlExpired { at } => format!("ttl expired at {}", name(at)),
+            Event::Delivered { at } => format!("delivered at {}", name(at)),
+            Event::Replied { from, src } => format!("reply from {} src={src}", name(from)),
+            Event::Dropped { reason } => format!("dropped: {reason:?}"),
         }
     }
 
@@ -199,8 +226,13 @@ impl Network {
         // points for unassigned addresses).
         let subnet_routers: Vec<RouterId> = match (target_router, dst_subnet) {
             (None, Some(sn)) => {
-                let mut v: Vec<RouterId> =
-                    self.topo.subnet(sn).ifaces.iter().map(|&i| self.topo.iface(i).router).collect();
+                let mut v: Vec<RouterId> = self
+                    .topo
+                    .subnet(sn)
+                    .ifaces
+                    .iter()
+                    .map(|&i| self.topo.iface(i).router)
+                    .collect();
                 v.sort_unstable();
                 v.dedup();
                 v
@@ -299,7 +331,8 @@ impl Network {
         };
         let Some(ifid) = assigned_iface else {
             // Unassigned address inside an attached subnet.
-            let sn = self.topo.subnet_containing(probe.header.dst).expect("delivery implies subnet");
+            let sn =
+                self.topo.subnet_containing(probe.header.dst).expect("delivery implies subnet");
             if blocked(self.topo.subnet(sn)) {
                 return Verdict::Silent(SilenceReason::Filtered);
             }
@@ -478,7 +511,10 @@ mod tests {
         let (mut net, v, d) = chain_net();
         let reply = net.inject(&icmp_probe(v, d, 64, 1, 1)).reply().unwrap();
         assert_eq!(reply.header.src, d);
-        assert!(matches!(reply.payload, Payload::Icmp(IcmpMessage::EchoReply { ident: 1, seq: 1 })));
+        assert!(matches!(
+            reply.payload,
+            Payload::Icmp(IcmpMessage::EchoReply { ident: 1, seq: 1 })
+        ));
     }
 
     #[test]
@@ -608,7 +644,8 @@ mod tests {
         let verdict = net.inject(&icmp_probe(a("10.0.0.0"), a("10.0.0.2"), 64, 1, 1));
         assert_eq!(verdict.silence(), Some(SilenceReason::PolicySilence));
         // But traffic still flows through r1 to the destination.
-        let reply = net.inject(&icmp_probe(a("10.0.0.0"), a("10.0.0.3"), 64, 1, 2)).reply().unwrap();
+        let reply =
+            net.inject(&icmp_probe(a("10.0.0.0"), a("10.0.0.3"), 64, 1, 2)).reply().unwrap();
         assert_eq!(reply.header.src, a("10.0.0.3"));
         let _ = (topo, names);
     }

@@ -80,10 +80,8 @@ impl RoutingTable {
             return Vec::new();
         }
         let want = self.dist(from, to) - 1;
-        let mut hops: Vec<(RouterId, SubnetId)> = topo
-            .neighbors(from)
-            .filter(|&(nb, _)| self.dist(nb, to) == want)
-            .collect();
+        let mut hops: Vec<(RouterId, SubnetId)> =
+            topo.neighbors(from).filter(|&(nb, _)| self.dist(nb, to) == want).collect();
         hops.sort_unstable();
         hops.dedup();
         hops

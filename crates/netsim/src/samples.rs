@@ -351,12 +351,8 @@ mod tests {
         assert_eq!(rt.dist(hb, hc), 5);
         // R2, R4, R5, R8 all sit on LAN M.
         let m = t.subnet_by_prefix(p("10.2.0.0/29")).unwrap();
-        let owners: Vec<String> = t
-            .subnet(m)
-            .ifaces
-            .iter()
-            .map(|&i| t.router(t.iface(i).router).name.clone())
-            .collect();
+        let owners: Vec<String> =
+            t.subnet(m).ifaces.iter().map(|&i| t.router(t.iface(i).router).name.clone()).collect();
         for r in ["R2", "R4", "R5", "R8"] {
             assert!(owners.iter().any(|o| o == r), "{r} must be on LAN M");
         }

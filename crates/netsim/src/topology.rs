@@ -150,10 +150,7 @@ impl Topology {
 
     /// Finds a router by name (linear scan; intended for tests/samples).
     pub fn router_by_name(&self, name: &str) -> Option<RouterId> {
-        self.routers
-            .iter()
-            .position(|r| r.name == name)
-            .map(|i| RouterId(i as u32))
+        self.routers.iter().position(|r| r.name == name).map(|i| RouterId(i as u32))
     }
 
     /// The interface of `router` that sits on `subnet`, if any.
@@ -161,11 +158,7 @@ impl Topology {
     /// When a router has several interfaces on the same LAN the first one
     /// is returned (deterministically, in insertion order).
     pub fn iface_on(&self, router: RouterId, subnet: SubnetId) -> Option<IfaceId> {
-        self.router(router)
-            .ifaces
-            .iter()
-            .copied()
-            .find(|&i| self.iface(i).subnet == subnet)
+        self.router(router).ifaces.iter().copied().find(|&i| self.iface(i).subnet == subnet)
     }
 
     /// Iterates (neighbor router, via subnet, neighbor's interface) for
@@ -184,8 +177,7 @@ impl Topology {
     /// The ground-truth member addresses of a subnet, sorted — what the
     /// evaluation compares collected subnets against.
     pub fn subnet_members(&self, id: SubnetId) -> Vec<Addr> {
-        let mut v: Vec<Addr> =
-            self.subnet(id).ifaces.iter().map(|&i| self.iface(i).addr).collect();
+        let mut v: Vec<Addr> = self.subnet(id).ifaces.iter().map(|&i| self.iface(i).addr).collect();
         v.sort_unstable();
         v
     }
@@ -316,11 +308,7 @@ impl TopologyBuilder {
         addr: Addr,
         responsive: bool,
     ) -> Result<IfaceId, TopologyError> {
-        let sn = self
-            .topo
-            .subnets
-            .get(subnet.0 as usize)
-            .ok_or(TopologyError::BadReference)?;
+        let sn = self.topo.subnets.get(subnet.0 as usize).ok_or(TopologyError::BadReference)?;
         if self.topo.routers.get(router.0 as usize).is_none() {
             return Err(TopologyError::BadReference);
         }
@@ -464,10 +452,7 @@ mod tests {
     fn rejects_duplicate_and_overlapping_prefixes() {
         let mut b = two_router_link();
         b.subnet(p("10.0.0.0/30"));
-        assert_eq!(
-            b.build().err(),
-            Some(TopologyError::DuplicatePrefix(p("10.0.0.0/30")))
-        );
+        assert_eq!(b.build().err(), Some(TopologyError::DuplicatePrefix(p("10.0.0.0/30"))));
 
         let mut b = two_router_link();
         b.subnet(p("10.0.0.0/24"));

@@ -1,0 +1,119 @@
+//! Thread-local phase/cause attribution.
+//!
+//! The collection algorithms (`Session::run`, `position`, `explore`)
+//! know *why* a probe is about to be sent; the prober that actually puts
+//! it on the wire does not. Rather than threading attribution arguments
+//! through the `Prober` trait (and every caching/borrowing wrapper
+//! around it), the algorithms push the current phase and cause into a
+//! thread-local scope and the prober's [`crate::Recorder`] reads it at
+//! emit time.
+//!
+//! Scopes are RAII guards that restore the previous value on drop, so
+//! nesting (e.g. an in-use check inside exploration) works naturally,
+//! and early returns cannot leak attribution into unrelated probes.
+//! Everything is thread-local: parallel sessions on different threads
+//! never see each other's attribution.
+
+use std::cell::Cell;
+
+use crate::event::{Cause, Phase};
+
+thread_local! {
+    static CURRENT: Cell<(Option<Phase>, Option<Cause>)> = const { Cell::new((None, None)) };
+}
+
+/// The phase/cause attribution for probes sent by the current thread
+/// right now.
+pub fn current() -> (Option<Phase>, Option<Cause>) {
+    CURRENT.with(|c| c.get())
+}
+
+/// Enters a phase scope; probes sent until the guard drops are
+/// attributed to `phase`.
+pub fn phase_scope(phase: Phase) -> PhaseScope {
+    let prev = CURRENT.with(|c| {
+        let (p, k) = c.get();
+        c.set((Some(phase), k));
+        p
+    });
+    PhaseScope { prev }
+}
+
+/// Enters a cause scope; probes sent until the guard drops are
+/// attributed to `cause`.
+pub fn cause_scope(cause: Cause) -> CauseScope {
+    let prev = CURRENT.with(|c| {
+        let (p, k) = c.get();
+        c.set((p, Some(cause)));
+        k
+    });
+    CauseScope { prev }
+}
+
+/// RAII guard restoring the previous phase on drop.
+#[must_use = "attribution lasts only while the scope guard lives"]
+pub struct PhaseScope {
+    prev: Option<Phase>,
+}
+
+impl Drop for PhaseScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            let (_, k) = c.get();
+            c.set((self.prev, k));
+        });
+    }
+}
+
+/// RAII guard restoring the previous cause on drop.
+#[must_use = "attribution lasts only while the scope guard lives"]
+pub struct CauseScope {
+    prev: Option<Cause>,
+}
+
+impl Drop for CauseScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            let (p, _) = c.get();
+            c.set((p, self.prev));
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert_eq!(current(), (None, None));
+        {
+            let _p = phase_scope(Phase::Position);
+            assert_eq!(current(), (Some(Phase::Position), None));
+            {
+                let _c = cause_scope(Cause::DistanceSearch);
+                assert_eq!(current(), (Some(Phase::Position), Some(Cause::DistanceSearch)));
+                {
+                    let _c2 = cause_scope(Cause::IngressQuery);
+                    assert_eq!(current().1, Some(Cause::IngressQuery));
+                }
+                assert_eq!(current().1, Some(Cause::DistanceSearch));
+            }
+            assert_eq!(current(), (Some(Phase::Position), None));
+            let _p2 = phase_scope(Phase::Explore);
+            assert_eq!(current().0, Some(Phase::Explore));
+        }
+        assert_eq!(current(), (None, None));
+    }
+
+    #[test]
+    fn scope_restores_across_unwind() {
+        let result = std::panic::catch_unwind(|| {
+            let _p = phase_scope(Phase::Trace);
+            panic!("unwind through the scope");
+        });
+        assert!(result.is_err());
+        // The guard dropped during unwinding; no attribution leaked.
+        assert_eq!(current(), (None, None));
+    }
+}

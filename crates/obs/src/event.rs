@@ -1,0 +1,401 @@
+//! The probe event record and its attribution vocabulary.
+
+use std::fmt;
+
+use inet::Addr;
+use serde_json::{json, Value};
+use wire::Protocol;
+
+/// The session phase a probe was sent from — the paper's three-stage
+/// pipeline (§3): trace collection, subnet positioning, subnet
+/// exploration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Hop discovery along the path to the destination.
+    Trace,
+    /// Subnet positioning (Algorithm 2): distances, pivots, ingresses.
+    Position,
+    /// Subnet exploration (Algorithm 1): growing and probing candidates.
+    Explore,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 3] = [Phase::Trace, Phase::Position, Phase::Explore];
+
+    /// Stable snake_case label used in JSON and metrics keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Trace => "trace",
+            Phase::Position => "position",
+            Phase::Explore => "explore",
+        }
+    }
+
+    /// Parses a [`Phase::label`] rendering.
+    pub fn from_label(s: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.label() == s)
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Phase::Trace => 0,
+            Phase::Position => 1,
+            Phase::Explore => 2,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why a probe was sent: either an algorithmic step of
+/// positioning/trace collection, or the paper heuristic (H1–H9, §3.4)
+/// whose check needed it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cause {
+    /// Hop probe of the initial trace collection.
+    TraceCollection,
+    /// Perceived-distance search around the trace TTL (§3.3).
+    DistanceSearch,
+    /// On-path check: does the hop answer at distance-1 with TTL
+    /// expired?
+    OnPathCheck,
+    /// Pivot designation via the /31-or-/30 mate (Algorithm 2 line 4).
+    PivotDesignation,
+    /// In-use check before admitting a candidate address.
+    InUseCheck,
+    /// Ingress-router query at pivot distance - 1.
+    IngressQuery,
+    /// H1: stop-and-shrink on inconsistent member distance. H1 itself
+    /// sends no probes; the variant exists so logs can attribute
+    /// H1-triggered re-examinations.
+    H1,
+    /// H2: upper-bound subnet contiguity (pivot-distance aliveness).
+    H2,
+    /// H3: single contra-pivot admission at distance - 1.
+    H3,
+    /// H4: lower-bound contiguity at distance - 2.
+    H4,
+    /// H5: /31 mate shortcut before a full /30 scan.
+    H5,
+    /// H6: fixed entry points — the below-distance probe shared with H3.
+    H6,
+    /// H7: router contiguity via the pivot's mate.
+    H7,
+    /// H8: mate ingress comparison at distance - 1.
+    H8,
+    /// H9: boundary reduction. Sends no probes; kept for log
+    /// completeness.
+    H9,
+}
+
+impl Cause {
+    /// Every cause, in declaration order.
+    pub const ALL: [Cause; 15] = [
+        Cause::TraceCollection,
+        Cause::DistanceSearch,
+        Cause::OnPathCheck,
+        Cause::PivotDesignation,
+        Cause::InUseCheck,
+        Cause::IngressQuery,
+        Cause::H1,
+        Cause::H2,
+        Cause::H3,
+        Cause::H4,
+        Cause::H5,
+        Cause::H6,
+        Cause::H7,
+        Cause::H8,
+        Cause::H9,
+    ];
+
+    /// Stable snake_case label used in JSON and metrics keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            Cause::TraceCollection => "trace_collection",
+            Cause::DistanceSearch => "distance_search",
+            Cause::OnPathCheck => "on_path_check",
+            Cause::PivotDesignation => "pivot_designation",
+            Cause::InUseCheck => "in_use_check",
+            Cause::IngressQuery => "ingress_query",
+            Cause::H1 => "h1",
+            Cause::H2 => "h2",
+            Cause::H3 => "h3",
+            Cause::H4 => "h4",
+            Cause::H5 => "h5",
+            Cause::H6 => "h6",
+            Cause::H7 => "h7",
+            Cause::H8 => "h8",
+            Cause::H9 => "h9",
+        }
+    }
+
+    /// Parses a [`Cause::label`] rendering.
+    pub fn from_label(s: &str) -> Option<Cause> {
+        Cause::ALL.into_iter().find(|c| c.label() == s)
+    }
+
+    /// The paper heuristic number, for H1–H9 causes.
+    pub fn heuristic(self) -> Option<u8> {
+        match self {
+            Cause::H1 => Some(1),
+            Cause::H2 => Some(2),
+            Cause::H3 => Some(3),
+            Cause::H4 => Some(4),
+            Cause::H5 => Some(5),
+            Cause::H6 => Some(6),
+            Cause::H7 => Some(7),
+            Cause::H8 => Some(8),
+            Cause::H9 => Some(9),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        Cause::ALL.iter().position(|c| *c == self).expect("cause is in ALL")
+    }
+}
+
+impl fmt::Display for Cause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What came back for one wire attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The probed address itself answered.
+    DirectReply,
+    /// An intermediate router sent TTL exceeded.
+    TtlExceeded,
+    /// A non-success ICMP unreachable.
+    Unreachable,
+    /// Silence (including replies rejected by validation).
+    Timeout,
+}
+
+impl Outcome {
+    /// Every outcome kind.
+    pub const ALL: [Outcome; 4] =
+        [Outcome::DirectReply, Outcome::TtlExceeded, Outcome::Unreachable, Outcome::Timeout];
+
+    /// Stable snake_case label used in JSON and metrics keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::DirectReply => "direct_reply",
+            Outcome::TtlExceeded => "ttl_exceeded",
+            Outcome::Unreachable => "unreachable",
+            Outcome::Timeout => "timeout",
+        }
+    }
+
+    /// Parses an [`Outcome::label`] rendering.
+    pub fn from_label(s: &str) -> Option<Outcome> {
+        Outcome::ALL.into_iter().find(|o| o.label() == s)
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Outcome::DirectReply => 0,
+            Outcome::TtlExceeded => 1,
+            Outcome::Unreachable => 2,
+            Outcome::Timeout => 3,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One packet put on the wire, with full attribution. This is the unit
+/// of the JSONL probe log and the input to the metrics registry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbeEvent {
+    /// Simulator clock (or wall-relative counter for live probers) at
+    /// send time.
+    pub tick: u64,
+    /// Source address of the probing session.
+    pub vantage: Addr,
+    /// Probed destination.
+    pub dst: Addr,
+    /// Probe TTL.
+    pub ttl: u8,
+    /// Probe protocol.
+    pub protocol: Protocol,
+    /// Flow discriminator (Paris keeps it 0 within a session).
+    pub flow: u16,
+    /// Zero-based wire attempt for this logical probe; > 0 means retry
+    /// after silence.
+    pub attempt: u8,
+    /// What came back for this attempt.
+    pub outcome: Outcome,
+    /// Replying address, when a reply was accepted.
+    pub from: Option<Addr>,
+    /// Originating phase, if the probe was sent inside a session phase.
+    pub phase: Option<Phase>,
+    /// Originating algorithm step or heuristic, if attributed.
+    pub cause: Option<Cause>,
+}
+
+fn protocol_label(p: Protocol) -> &'static str {
+    match p {
+        Protocol::Icmp => "icmp",
+        Protocol::Udp => "udp",
+        Protocol::Tcp => "tcp",
+    }
+}
+
+fn protocol_from_label(s: &str) -> Option<Protocol> {
+    match s {
+        "icmp" => Some(Protocol::Icmp),
+        "udp" => Some(Protocol::Udp),
+        "tcp" => Some(Protocol::Tcp),
+        _ => None,
+    }
+}
+
+impl ProbeEvent {
+    /// Renders the event as one JSON object (one JSONL line, sans
+    /// newline).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "tick": self.tick,
+            "vantage": self.vantage.to_string(),
+            "dst": self.dst.to_string(),
+            "ttl": self.ttl,
+            "proto": protocol_label(self.protocol),
+            "flow": self.flow,
+            "attempt": self.attempt,
+            "outcome": self.outcome.label(),
+            "from": self.from.map(|a| a.to_string()),
+            "phase": self.phase.map(Phase::label),
+            "cause": self.cause.map(Cause::label),
+        })
+    }
+
+    /// Parses an event back from its [`ProbeEvent::to_json`] rendering,
+    /// validating every field. This is what log replay tools build on.
+    pub fn from_json(v: &Value) -> Result<ProbeEvent, String> {
+        fn addr(v: &Value, what: &str) -> Result<Addr, String> {
+            v.as_str()
+                .ok_or_else(|| format!("{what}: expected string"))?
+                .parse()
+                .map_err(|e| format!("{what}: {e}"))
+        }
+        fn num(v: &Value, what: &str, max: u64) -> Result<u64, String> {
+            let n = v.as_u64().ok_or_else(|| format!("{what}: expected unsigned integer"))?;
+            if n > max {
+                return Err(format!("{what}: {n} out of range"));
+            }
+            Ok(n)
+        }
+
+        let outcome_label =
+            v["outcome"].as_str().ok_or_else(|| "outcome: expected string".to_string())?;
+        let proto_label =
+            v["proto"].as_str().ok_or_else(|| "proto: expected string".to_string())?;
+        let phase = match &v["phase"] {
+            Value::Null => None,
+            p => Some(
+                p.as_str()
+                    .and_then(Phase::from_label)
+                    .ok_or_else(|| format!("phase: unknown value {p}"))?,
+            ),
+        };
+        let cause = match &v["cause"] {
+            Value::Null => None,
+            c => Some(
+                c.as_str()
+                    .and_then(Cause::from_label)
+                    .ok_or_else(|| format!("cause: unknown value {c}"))?,
+            ),
+        };
+        let from = match &v["from"] {
+            Value::Null => None,
+            f => Some(addr(f, "from")?),
+        };
+        Ok(ProbeEvent {
+            tick: num(&v["tick"], "tick", u64::MAX)?,
+            vantage: addr(&v["vantage"], "vantage")?,
+            dst: addr(&v["dst"], "dst")?,
+            ttl: num(&v["ttl"], "ttl", u8::MAX as u64)? as u8,
+            protocol: protocol_from_label(proto_label)
+                .ok_or_else(|| format!("proto: unknown value {proto_label:?}"))?,
+            flow: num(&v["flow"], "flow", u16::MAX as u64)? as u16,
+            attempt: num(&v["attempt"], "attempt", u8::MAX as u64)? as u8,
+            outcome: Outcome::from_label(outcome_label)
+                .ok_or_else(|| format!("outcome: unknown value {outcome_label:?}"))?,
+            from,
+            phase,
+            cause,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProbeEvent {
+        ProbeEvent {
+            tick: 42,
+            vantage: "10.0.0.1".parse().unwrap(),
+            dst: "10.0.9.6".parse().unwrap(),
+            ttl: 4,
+            protocol: Protocol::Icmp,
+            flow: 0,
+            attempt: 1,
+            outcome: Outcome::TtlExceeded,
+            from: Some("10.0.3.1".parse().unwrap()),
+            phase: Some(Phase::Explore),
+            cause: Some(Cause::H4),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let ev = sample();
+        assert_eq!(ProbeEvent::from_json(&ev.to_json()).unwrap(), ev);
+
+        let bare = ProbeEvent { from: None, phase: None, cause: None, ..sample() };
+        assert_eq!(ProbeEvent::from_json(&bare.to_json()).unwrap(), bare);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_fields() {
+        let mut v = sample().to_json();
+        v["outcome"] = serde_json::json!("exploded");
+        assert!(ProbeEvent::from_json(&v).unwrap_err().contains("outcome"));
+
+        let mut v = sample().to_json();
+        v["ttl"] = serde_json::json!(900);
+        assert!(ProbeEvent::from_json(&v).unwrap_err().contains("ttl"));
+
+        let mut v = sample().to_json();
+        v["phase"] = serde_json::json!("warp");
+        assert!(ProbeEvent::from_json(&v).unwrap_err().contains("phase"));
+    }
+
+    #[test]
+    fn labels_roundtrip_for_all_variants() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_label(p.label()), Some(p));
+        }
+        for c in Cause::ALL {
+            assert_eq!(Cause::from_label(c.label()), Some(c));
+        }
+        for o in Outcome::ALL {
+            assert_eq!(Outcome::from_label(o.label()), Some(o));
+        }
+        assert_eq!(Cause::H7.heuristic(), Some(7));
+        assert_eq!(Cause::IngressQuery.heuristic(), None);
+    }
+}

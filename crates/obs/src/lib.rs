@@ -1,0 +1,45 @@
+//! `tnet-obs`: the observability layer for the tracenet workspace.
+//!
+//! The paper's whole evaluation (§4, Figures 7–9, Tables 2–3) is an
+//! accounting exercise over probe traffic: how many probes each phase
+//! spends and which heuristic triggered them. This crate makes that
+//! accounting a first-class, always-available artifact instead of
+//! something each experiment recomputes:
+//!
+//! - [`event::ProbeEvent`] — one record per packet put on the wire, with
+//!   the originating phase and heuristic attached.
+//! - [`sink::EventSink`] — pluggable event consumers: [`sink::NullSink`],
+//!   [`sink::VecSink`] (tests), [`sink::JsonlSink`] (streaming
+//!   JSON-lines).
+//! - [`metrics::Registry`] — thread-safe monotonic counters and
+//!   fixed-bucket histograms keyed by phase and heuristic, with
+//!   human-table and JSON snapshots.
+//! - [`trace`] — a dependency-free `tracing`-style facade: levelled
+//!   spans and events behind one atomic check, rendered by an
+//!   installable subscriber (the CLI's `-v`/`-vv`).
+//! - [`ctx`] — thread-local phase/cause attribution that the collection
+//!   algorithms set and the probers read, so attribution needs no
+//!   signature changes through the `Prober` seam.
+//! - [`Recorder`] — the handle probers carry: sink + metrics bundled,
+//!   free when disabled.
+//!
+//! Everything here is dependency-light by design (inet, wire, and the
+//! vendored serde_json shim) so any crate in the workspace can afford
+//! to depend on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctx;
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod sink;
+pub mod trace;
+
+pub use ctx::{cause_scope, phase_scope};
+pub use event::{Cause, Outcome, Phase, ProbeEvent};
+pub use metrics::{MetricsSnapshot, Registry};
+pub use recorder::Recorder;
+pub use sink::{EventSink, JsonlSink, NullSink, SinkHandle, VecSink};
+pub use trace::Level;

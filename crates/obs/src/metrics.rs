@@ -1,0 +1,351 @@
+//! A dependency-free metrics registry: monotonic counters and
+//! fixed-bucket histograms keyed by phase and cause.
+//!
+//! Everything is a plain atomic so recording is lock-free and safe to
+//! share across probing threads behind one `Arc<Registry>`. A
+//! [`Registry::snapshot`] freezes the counters into a
+//! [`MetricsSnapshot`] that renders as a human table (the shape of the
+//! paper's Table 2) or as JSON.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde_json::{json, Value};
+
+use crate::event::{Cause, Outcome, Phase, ProbeEvent};
+
+/// Number of phase slots: the three pipeline phases plus one for
+/// probes sent outside any phase scope.
+const PHASES: usize = Phase::ALL.len() + 1;
+const UNATTRIBUTED: usize = Phase::ALL.len();
+const CAUSES: usize = Cause::ALL.len();
+const OUTCOMES: usize = Outcome::ALL.len();
+
+/// TTL histogram buckets: `[1, 2), [2, 4), [4, 8), [8, 16), [16, 32),
+/// [32, 64), [64, 256]`. Upper bounds, inclusive-exclusive except the
+/// last.
+pub const TTL_BUCKETS: [u8; 7] = [2, 4, 8, 16, 32, 64, 255];
+
+fn ttl_bucket(ttl: u8) -> usize {
+    TTL_BUCKETS.iter().position(|&hi| ttl < hi).unwrap_or(TTL_BUCKETS.len() - 1)
+}
+
+/// Hop-cost histogram buckets (probes spent per collected hop):
+/// `[0, 2), [2, 4), [4, 8), [8, 16), [16, 32), [32, ∞)`.
+pub const HOP_COST_BUCKETS: [u64; 5] = [2, 4, 8, 16, 32];
+
+fn hop_cost_bucket(cost: u64) -> usize {
+    HOP_COST_BUCKETS.iter().position(|&hi| cost < hi).unwrap_or(HOP_COST_BUCKETS.len())
+}
+
+fn phase_slot(phase: Option<Phase>) -> usize {
+    phase.map(Phase::index).unwrap_or(UNATTRIBUTED)
+}
+
+fn slot_label(slot: usize) -> &'static str {
+    Phase::ALL.get(slot).map(|p| p.label()).unwrap_or("unattributed")
+}
+
+/// Thread-safe counters for probe traffic. Construct once per session
+/// (or per experiment), share via `Arc`, feed through a
+/// [`crate::Recorder`], and snapshot at the end.
+#[derive(Debug, Default)]
+pub struct Registry {
+    /// Wire sends per phase slot.
+    sent: [AtomicU64; PHASES],
+    /// Retries (attempt > 0) per phase slot.
+    retries: [AtomicU64; PHASES],
+    /// Outcome counts per phase slot.
+    outcomes: [[AtomicU64; OUTCOMES]; PHASES],
+    /// Wire sends per cause.
+    by_cause: [AtomicU64; CAUSES],
+    /// Probe TTL distribution.
+    ttl_hist: [AtomicU64; TTL_BUCKETS.len()],
+    /// Probes-per-hop distribution, fed by the session after trace
+    /// collection.
+    hop_cost_hist: [AtomicU64; HOP_COST_BUCKETS.len() + 1],
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Records one wire attempt. Called by [`crate::Recorder::record`];
+    /// exposed for tools that replay a JSONL log into fresh metrics.
+    pub fn record(&self, event: &ProbeEvent) {
+        let slot = phase_slot(event.phase);
+        self.sent[slot].fetch_add(1, Ordering::Relaxed);
+        if event.attempt > 0 {
+            self.retries[slot].fetch_add(1, Ordering::Relaxed);
+        }
+        self.outcomes[slot][event.outcome.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(cause) = event.cause {
+            self.by_cause[cause.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        self.ttl_hist[ttl_bucket(event.ttl)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the probe cost of one collected hop (probes spent per
+    /// hop discovered during trace collection).
+    pub fn record_hop_cost(&self, probes: u64) {
+        self.hop_cost_hist[hop_cost_bucket(probes)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Wire sends attributed to `phase` so far.
+    pub fn sent_in(&self, phase: Phase) -> u64 {
+        self.sent[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Wire sends with no phase attribution so far.
+    pub fn sent_unattributed(&self) -> u64 {
+        self.sent[UNATTRIBUTED].load(Ordering::Relaxed)
+    }
+
+    /// Wire sends attributed to `cause` so far.
+    pub fn sent_for(&self, cause: Cause) -> u64 {
+        self.by_cause[cause.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total wire sends across every phase slot.
+    pub fn sent_total(&self) -> u64 {
+        self.sent.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Freezes the current counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            sent: std::array::from_fn(|i| load(&self.sent[i])),
+            retries: std::array::from_fn(|i| load(&self.retries[i])),
+            outcomes: std::array::from_fn(|i| std::array::from_fn(|j| load(&self.outcomes[i][j]))),
+            by_cause: std::array::from_fn(|i| load(&self.by_cause[i])),
+            ttl_hist: std::array::from_fn(|i| load(&self.ttl_hist[i])),
+            hop_cost_hist: std::array::from_fn(|i| load(&self.hop_cost_hist[i])),
+        }
+    }
+}
+
+/// A frozen view of a [`Registry`], suitable for rendering and
+/// comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    sent: [u64; PHASES],
+    retries: [u64; PHASES],
+    outcomes: [[u64; OUTCOMES]; PHASES],
+    by_cause: [u64; CAUSES],
+    ttl_hist: [u64; TTL_BUCKETS.len()],
+    hop_cost_hist: [u64; HOP_COST_BUCKETS.len() + 1],
+}
+
+impl MetricsSnapshot {
+    /// Wire sends attributed to `phase`.
+    pub fn sent_in(&self, phase: Phase) -> u64 {
+        self.sent[phase.index()]
+    }
+
+    /// Wire sends with no phase attribution.
+    pub fn sent_unattributed(&self) -> u64 {
+        self.sent[UNATTRIBUTED]
+    }
+
+    /// Wire sends attributed to `cause`.
+    pub fn sent_for(&self, cause: Cause) -> u64 {
+        self.by_cause[cause.index()]
+    }
+
+    /// Total wire sends across every phase slot.
+    pub fn sent_total(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Retries attributed to `phase`.
+    pub fn retries_in(&self, phase: Phase) -> u64 {
+        self.retries[phase.index()]
+    }
+
+    /// Outcome count for `phase`.
+    pub fn outcome_in(&self, phase: Phase, outcome: Outcome) -> u64 {
+        self.outcomes[phase.index()][outcome.index()]
+    }
+
+    /// Renders the snapshot as an aligned human-readable table.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "phase", "sent", "retries", "direct", "ttl_exc", "unreach", "timeout"
+        );
+        for slot in 0..PHASES {
+            if slot == UNATTRIBUTED && self.sent[slot] == 0 {
+                continue;
+            }
+            let o = &self.outcomes[slot];
+            let _ = writeln!(
+                out,
+                "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                slot_label(slot),
+                self.sent[slot],
+                self.retries[slot],
+                o[0],
+                o[1],
+                o[2],
+                o[3]
+            );
+        }
+        let _ = writeln!(out, "{:<14} {:>8}", "total", self.sent_total());
+        let attributed: Vec<(Cause, u64)> = Cause::ALL
+            .into_iter()
+            .map(|c| (c, self.by_cause[c.index()]))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        if !attributed.is_empty() {
+            let _ = writeln!(out, "\n{:<18} {:>8}", "cause", "probes");
+            for (cause, n) in attributed {
+                let _ = writeln!(out, "{:<18} {:>8}", cause.label(), n);
+            }
+        }
+        out
+    }
+
+    /// Serializes the snapshot as a JSON object.
+    ///
+    /// Shape: `phases` maps phase label (plus `"unattributed"`) to
+    /// `{sent, retries, outcomes: {...}}`; `causes` maps cause labels
+    /// to send counts (zero counts omitted); `total_sent` is the grand
+    /// total; `ttl_histogram` and `hop_cost_histogram` list
+    /// `{le, count}` buckets.
+    pub fn to_json(&self) -> Value {
+        let mut phases = Vec::new();
+        for slot in 0..PHASES {
+            let o = &self.outcomes[slot];
+            let outcomes = Value::Object(
+                Outcome::ALL
+                    .into_iter()
+                    .map(|k| (k.label().to_string(), json!(o[k.index()])))
+                    .collect(),
+            );
+            phases.push((
+                slot_label(slot).to_string(),
+                json!({
+                    "sent": self.sent[slot],
+                    "retries": self.retries[slot],
+                    "outcomes": outcomes,
+                }),
+            ));
+        }
+        let causes = Value::Object(
+            Cause::ALL
+                .into_iter()
+                .filter(|c| self.by_cause[c.index()] > 0)
+                .map(|c| (c.label().to_string(), json!(self.by_cause[c.index()])))
+                .collect(),
+        );
+        let ttl_hist = Value::Array(
+            TTL_BUCKETS
+                .iter()
+                .zip(self.ttl_hist.iter())
+                .map(|(&le, &count)| json!({ "le": le, "count": count }))
+                .collect(),
+        );
+        let hop_hist = Value::Array(
+            HOP_COST_BUCKETS
+                .iter()
+                .map(|&b| b.to_string())
+                .chain(std::iter::once("inf".to_string()))
+                .zip(self.hop_cost_hist.iter())
+                .map(|(le, &count)| json!({ "le": le, "count": count }))
+                .collect(),
+        );
+        json!({
+            "total_sent": self.sent_total(),
+            "phases": Value::Object(phases),
+            "causes": causes,
+            "ttl_histogram": ttl_hist,
+            "hop_cost_histogram": hop_hist,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::Protocol;
+
+    fn ev(phase: Option<Phase>, cause: Option<Cause>, ttl: u8, attempt: u8) -> ProbeEvent {
+        ProbeEvent {
+            tick: 0,
+            vantage: "10.0.0.1".parse().unwrap(),
+            dst: "10.0.9.6".parse().unwrap(),
+            ttl,
+            protocol: Protocol::Icmp,
+            flow: 0,
+            attempt,
+            outcome: if attempt > 0 { Outcome::Timeout } else { Outcome::DirectReply },
+            from: None,
+            phase,
+            cause,
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_by_phase_and_cause() {
+        let reg = Registry::new();
+        reg.record(&ev(Some(Phase::Trace), Some(Cause::TraceCollection), 3, 0));
+        reg.record(&ev(Some(Phase::Trace), Some(Cause::TraceCollection), 3, 1));
+        reg.record(&ev(Some(Phase::Explore), Some(Cause::H2), 5, 0));
+        reg.record(&ev(None, None, 9, 0));
+
+        assert_eq!(reg.sent_in(Phase::Trace), 2);
+        assert_eq!(reg.sent_in(Phase::Explore), 1);
+        assert_eq!(reg.sent_unattributed(), 1);
+        assert_eq!(reg.sent_total(), 4);
+        assert_eq!(reg.sent_for(Cause::H2), 1);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.sent_total(), 4);
+        assert_eq!(snap.retries_in(Phase::Trace), 1);
+        assert_eq!(snap.outcome_in(Phase::Trace, Outcome::Timeout), 1);
+        assert_eq!(snap.outcome_in(Phase::Trace, Outcome::DirectReply), 1);
+    }
+
+    #[test]
+    fn ttl_buckets_cover_the_full_range() {
+        for ttl in 0..=255u8 {
+            let b = ttl_bucket(ttl);
+            assert!(b < TTL_BUCKETS.len(), "ttl {ttl} got bucket {b}");
+        }
+        assert_eq!(ttl_bucket(1), 0);
+        assert_eq!(ttl_bucket(2), 1);
+        assert_eq!(ttl_bucket(63), 5);
+        assert_eq!(ttl_bucket(64), 6);
+        assert_eq!(ttl_bucket(255), 6);
+    }
+
+    #[test]
+    fn snapshot_json_has_expected_shape() {
+        let reg = Registry::new();
+        reg.record(&ev(Some(Phase::Position), Some(Cause::DistanceSearch), 4, 0));
+        reg.record_hop_cost(3);
+        let v = reg.snapshot().to_json();
+        assert_eq!(v["total_sent"], 1u64);
+        assert_eq!(v["phases"]["position"]["sent"], 1u64);
+        assert_eq!(v["phases"]["position"]["outcomes"]["direct_reply"], 1u64);
+        assert_eq!(v["causes"]["distance_search"], 1u64);
+        assert!(v["causes"]["h2"].is_null(), "zero causes omitted");
+        assert_eq!(v["hop_cost_histogram"][1]["count"], 1u64);
+    }
+
+    #[test]
+    fn render_table_lists_phases_and_causes() {
+        let reg = Registry::new();
+        reg.record(&ev(Some(Phase::Explore), Some(Cause::H5), 6, 0));
+        let table = reg.snapshot().render_table();
+        assert!(table.contains("explore"), "{table}");
+        assert!(table.contains("h5"), "{table}");
+        assert!(table.contains("total"), "{table}");
+        assert!(!table.contains("unattributed"), "empty slot hidden: {table}");
+    }
+}

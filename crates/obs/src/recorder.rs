@@ -1,0 +1,157 @@
+//! The recorder: what a prober carries to report its wire attempts.
+
+use std::sync::Arc;
+
+use crate::ctx;
+use crate::event::ProbeEvent;
+use crate::metrics::Registry;
+use crate::sink::SinkHandle;
+
+/// Bundles an event sink and a metrics registry behind one cheap
+/// enabled check.
+///
+/// Probers hold a `Recorder` and call [`Recorder::record`] once per
+/// wire attempt, passing a closure that builds the event. When the
+/// recorder is disabled (the default) the closure never runs, so the
+/// instrumented hot path costs a single branch.
+///
+/// The recorder fills in the current [`ctx`] phase/cause attribution
+/// itself — event-building closures leave `phase` and `cause` as
+/// `None`.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    sink: SinkHandle,
+    metrics: Option<Arc<Registry>>,
+}
+
+impl Recorder {
+    /// A recorder that observes nothing; recording is a no-op.
+    pub fn disabled() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Starts from a disabled recorder; chain [`Recorder::with_sink`] /
+    /// [`Recorder::with_metrics`].
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Attaches an event sink.
+    pub fn with_sink(mut self, sink: SinkHandle) -> Recorder {
+        self.sink = sink;
+        self
+    }
+
+    /// Attaches a metrics registry.
+    pub fn with_metrics(mut self, metrics: Arc<Registry>) -> Recorder {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Whether any observer is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_enabled() || self.metrics.is_some()
+    }
+
+    /// The attached registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<Registry>> {
+        self.metrics.as_ref()
+    }
+
+    /// Records one wire attempt. `build` runs only when an observer is
+    /// attached; the recorder stamps the event with the thread's
+    /// current phase/cause attribution before dispatching it.
+    #[inline]
+    pub fn record(&self, build: impl FnOnce() -> ProbeEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut event = build();
+        let (phase, cause) = ctx::current();
+        event.phase = phase;
+        event.cause = cause;
+        if let Some(metrics) = &self.metrics {
+            metrics.record(&event);
+        }
+        self.sink.emit(&event);
+    }
+
+    /// Records the probe cost of one collected hop, if metrics are
+    /// attached.
+    pub fn record_hop_cost(&self, probes: u64) {
+        if let Some(metrics) = &self.metrics {
+            metrics.record_hop_cost(probes);
+        }
+    }
+
+    /// Flushes the sink, if any.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.sink.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Cause, Outcome, Phase};
+    use crate::sink::VecSink;
+    use wire::Protocol;
+
+    fn ev() -> ProbeEvent {
+        ProbeEvent {
+            tick: 1,
+            vantage: "10.0.0.1".parse().unwrap(),
+            dst: "10.0.9.6".parse().unwrap(),
+            ttl: 5,
+            protocol: Protocol::Udp,
+            flow: 0,
+            attempt: 0,
+            outcome: Outcome::DirectReply,
+            from: None,
+            phase: None,
+            cause: None,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_never_builds_the_event() {
+        let recorder = Recorder::disabled();
+        assert!(!recorder.is_enabled());
+        recorder.record(|| unreachable!("closure must not run when disabled"));
+    }
+
+    #[test]
+    fn record_stamps_attribution_and_feeds_both_observers() {
+        let sink = VecSink::new();
+        let reader = sink.clone();
+        let metrics = Arc::new(Registry::new());
+        let recorder =
+            Recorder::new().with_sink(SinkHandle::new(sink)).with_metrics(Arc::clone(&metrics));
+        assert!(recorder.is_enabled());
+
+        {
+            let _p = crate::phase_scope(Phase::Explore);
+            let _c = crate::cause_scope(Cause::H3);
+            recorder.record(ev);
+        }
+        recorder.record(ev);
+
+        let events = reader.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].phase, Some(Phase::Explore));
+        assert_eq!(events[0].cause, Some(Cause::H3));
+        assert_eq!(events[1].phase, None);
+        assert_eq!(metrics.sent_in(Phase::Explore), 1);
+        assert_eq!(metrics.sent_unattributed(), 1);
+        assert_eq!(metrics.sent_for(Cause::H3), 1);
+    }
+
+    #[test]
+    fn metrics_only_recorder_counts_without_a_sink() {
+        let metrics = Arc::new(Registry::new());
+        let recorder = Recorder::new().with_metrics(Arc::clone(&metrics));
+        recorder.record(ev);
+        recorder.record_hop_cost(4);
+        assert_eq!(metrics.sent_total(), 1);
+    }
+}

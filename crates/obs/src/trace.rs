@@ -1,0 +1,248 @@
+//! A dependency-free `tracing`-style facade: levelled spans and events
+//! behind one atomic load.
+//!
+//! The workspace cannot pull the real `tracing` crate (offline build),
+//! and does not need most of it. This module keeps the parts that
+//! matter here:
+//!
+//! - a global [`Level`] filter checked with a relaxed atomic load, so
+//!   disabled instrumentation costs ~1ns and formats nothing;
+//! - [`span!`] — an RAII guard that logs entry/exit with per-thread
+//!   indentation, giving `-vv` output its tree shape;
+//! - [`trace_event!`] — a one-off levelled message with lazily
+//!   formatted fields;
+//! - an installable [`Subscriber`] (the CLI installs [`FmtSubscriber`]
+//!   for `-v`/`-vv`; tests install a capturing one).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Verbosity levels, coarsest first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing is emitted (the default).
+    Off = 0,
+    /// Session-level milestones (`-v`).
+    Info = 1,
+    /// Per-algorithm-step detail (`-vv`).
+    Debug = 2,
+    /// Per-packet detail, including the netsim engine (`-vvv`).
+    Trace = 3,
+}
+
+impl Level {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            1 => Level::Info,
+            2 => Level::Debug,
+            3 => Level::Trace,
+            _ => Level::Off,
+        }
+    }
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+static SUBSCRIBER: OnceLock<Box<dyn Subscriber>> = OnceLock::new();
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Receives formatted span/event records. Implementations must be
+/// cheap or buffer internally; they run inline on the probing thread.
+pub trait Subscriber: Send + Sync {
+    /// One record: an event message or a span entry/exit marker.
+    /// `depth` is the current span nesting on the emitting thread.
+    fn record(&self, level: Level, depth: usize, message: &str);
+}
+
+/// Installs the global subscriber and level filter. The subscriber can
+/// be installed once per process; later calls still update the level.
+pub fn set_subscriber(level: Level, subscriber: Box<dyn Subscriber>) {
+    let _ = SUBSCRIBER.set(subscriber);
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Updates the level filter without touching the subscriber.
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current level filter.
+pub fn level() -> Level {
+    Level::from_u8(MAX_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether records at `level` are currently being consumed. The guard
+/// every instrumentation site checks before formatting anything.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Dispatches one pre-formatted record. Prefer the [`trace_event!`] and
+/// [`span!`] macros, which skip formatting when disabled.
+pub fn dispatch(level: Level, message: &str) {
+    if let Some(sub) = SUBSCRIBER.get() {
+        sub.record(level, DEPTH.with(|d| d.get()), message);
+    }
+}
+
+/// RAII guard for one span: logs `-> name {fields}` on creation and
+/// `<- name` on drop, indenting everything recorded in between.
+pub struct SpanGuard {
+    level: Level,
+    name: &'static str,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Opens a span. Use via the [`span!`] macro.
+    pub fn enter(level: Level, name: &'static str, fields: std::fmt::Arguments<'_>) -> SpanGuard {
+        let active = enabled(level);
+        if active {
+            let rendered = if fields.as_str() == Some("") {
+                format!("-> {name}")
+            } else {
+                format!("-> {name} {fields}")
+            };
+            dispatch(level, &rendered);
+            DEPTH.with(|d| d.set(d.get() + 1));
+        }
+        SpanGuard { level, name, active }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            dispatch(self.level, &format!("<- {}", self.name));
+        }
+    }
+}
+
+/// Opens a levelled span: `let _span = span!(Level::Debug, "position",
+/// "hop={hop}");`. Fields are a format string + args, rendered only
+/// when the level is enabled.
+#[macro_export]
+macro_rules! span {
+    ($level:expr, $name:expr) => {
+        $crate::trace::SpanGuard::enter($level, $name, format_args!(""))
+    };
+    ($level:expr, $name:expr, $($field:tt)+) => {
+        $crate::trace::SpanGuard::enter($level, $name, format_args!($($field)+))
+    };
+}
+
+/// Emits one levelled event: `trace_event!(Level::Trace, "verdict
+/// dst={dst} {v:?}");`. The message is formatted only when the level is
+/// enabled.
+#[macro_export]
+macro_rules! trace_event {
+    ($level:expr, $($msg:tt)+) => {
+        if $crate::trace::enabled($level) {
+            $crate::trace::dispatch($level, &format!($($msg)+));
+        }
+    };
+}
+
+/// Writes records to stderr with two-space indentation per span depth —
+/// what the CLI installs for `-v`/`-vv`.
+pub struct FmtSubscriber;
+
+impl Subscriber for FmtSubscriber {
+    fn record(&self, level: Level, depth: usize, message: &str) {
+        eprintln!("[{:<5}] {:indent$}{message}", level.label(), "", indent = depth * 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Capture(&'static Mutex<Vec<(Level, usize, String)>>);
+
+    impl Subscriber for Capture {
+        fn record(&self, level: Level, depth: usize, message: &str) {
+            self.0.lock().unwrap().push((level, depth, message.to_string()));
+        }
+    }
+
+    // One process-global subscriber: all tests share it and run
+    // serially under a lock to keep records separable.
+    static RECORDS: Mutex<Vec<(Level, usize, String)>> = Mutex::new(Vec::new());
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_capture(level: Level, f: impl FnOnce()) -> Vec<(Level, usize, String)> {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_subscriber(level, Box::new(Capture(&RECORDS)));
+        RECORDS.lock().unwrap().clear();
+        f();
+        set_level(Level::Off);
+        std::mem::take(&mut *RECORDS.lock().unwrap())
+    }
+
+    #[test]
+    fn disabled_levels_format_nothing() {
+        let records = with_capture(Level::Info, || {
+            let expensive_calls = Cell::new(0u32);
+            let expensive = || {
+                expensive_calls.set(expensive_calls.get() + 1);
+                "x"
+            };
+            trace_event!(Level::Debug, "hidden {}", expensive());
+            assert_eq!(expensive_calls.get(), 0, "disabled event must not format");
+            trace_event!(Level::Info, "shown {}", expensive());
+            assert_eq!(expensive_calls.get(), 1);
+        });
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].2, "shown x");
+    }
+
+    #[test]
+    fn spans_nest_with_depth() {
+        let records = with_capture(Level::Debug, || {
+            let _outer = span!(Level::Info, "session", "dst={}", "10.0.0.9");
+            trace_event!(Level::Info, "inside");
+            {
+                let _inner = span!(Level::Debug, "explore");
+                trace_event!(Level::Debug, "deeper");
+            }
+        });
+        let shape: Vec<(usize, &str)> = records.iter().map(|(_, d, m)| (*d, m.as_str())).collect();
+        assert_eq!(
+            shape,
+            vec![
+                (0, "-> session dst=10.0.0.9"),
+                (1, "inside"),
+                (1, "-> explore"),
+                (2, "deeper"),
+                (1, "<- explore"),
+                (0, "<- session"),
+            ]
+        );
+    }
+
+    #[test]
+    fn span_below_level_is_free_and_balanced() {
+        let records = with_capture(Level::Info, || {
+            let _hidden = span!(Level::Trace, "engine");
+            trace_event!(Level::Info, "still at depth zero");
+        });
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].1, 0);
+    }
+}

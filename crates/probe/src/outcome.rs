@@ -67,9 +67,21 @@ impl ProbeOutcome {
     pub fn is_silentish(self) -> bool {
         matches!(
             self,
-            ProbeOutcome::Timeout
-                | ProbeOutcome::Unreachable { kind: UnreachKind::Host, .. }
+            ProbeOutcome::Timeout | ProbeOutcome::Unreachable { kind: UnreachKind::Host, .. }
         )
+    }
+}
+
+impl ProbeOutcome {
+    /// Splits the outcome into the observability vocabulary: the outcome
+    /// kind plus the replying address, if any.
+    pub(crate) fn observed(&self) -> (obs::Outcome, Option<Addr>) {
+        match *self {
+            ProbeOutcome::DirectReply { from } => (obs::Outcome::DirectReply, Some(from)),
+            ProbeOutcome::TtlExceeded { from } => (obs::Outcome::TtlExceeded, Some(from)),
+            ProbeOutcome::Unreachable { from, .. } => (obs::Outcome::Unreachable, Some(from)),
+            ProbeOutcome::Timeout => (obs::Outcome::Timeout, None),
+        }
     }
 }
 

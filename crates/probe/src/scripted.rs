@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use inet::Addr;
+use obs::{ProbeEvent, Recorder};
 use wire::Protocol;
 
 use crate::outcome::ProbeOutcome;
@@ -32,6 +33,7 @@ pub struct ScriptedProber {
     table: HashMap<(Addr, u8), ProbeOutcome>,
     misses: Vec<(Addr, u8)>,
     stats: ProbeStats,
+    recorder: Recorder,
 }
 
 impl ScriptedProber {
@@ -43,7 +45,14 @@ impl ScriptedProber {
             table: HashMap::new(),
             misses: Vec::new(),
             stats: ProbeStats::default(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a recorder that observes every probe.
+    pub fn recorder(&mut self, recorder: Recorder) -> &mut Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Scripts one `(dst, ttl)` entry; later entries overwrite earlier
@@ -83,7 +92,7 @@ impl Prober for ScriptedProber {
         self.protocol
     }
 
-    fn probe_with_flow(&mut self, dst: Addr, ttl: u8, _flow: u16) -> ProbeOutcome {
+    fn probe_with_flow(&mut self, dst: Addr, ttl: u8, flow: u16) -> ProbeOutcome {
         self.stats.requests += 1;
         self.stats.sent += 1;
         let outcome = match self.table.get(&(dst, ttl)) {
@@ -94,6 +103,25 @@ impl Prober for ScriptedProber {
             }
         };
         self.stats.record(&outcome);
+        // Scripted probers have no network clock; the send counter
+        // stands in for it.
+        let tick = self.stats.sent;
+        self.recorder.record(|| {
+            let (kind, from) = outcome.observed();
+            ProbeEvent {
+                tick,
+                vantage: self.src,
+                dst,
+                ttl,
+                protocol: self.protocol,
+                flow,
+                attempt: 0,
+                outcome: kind,
+                from,
+                phase: None,
+                cause: None,
+            }
+        });
         outcome
     }
 
@@ -114,10 +142,7 @@ mod tests {
     fn scripted_entries_and_misses() {
         let mut p = ScriptedProber::new(a("10.0.0.1"));
         p.script(a("10.0.0.9"), 2, ProbeOutcome::TtlExceeded { from: a("10.0.0.5") });
-        assert_eq!(
-            p.probe(a("10.0.0.9"), 2),
-            ProbeOutcome::TtlExceeded { from: a("10.0.0.5") }
-        );
+        assert_eq!(p.probe(a("10.0.0.9"), 2), ProbeOutcome::TtlExceeded { from: a("10.0.0.5") });
         assert_eq!(p.probe(a("10.0.0.9"), 7), ProbeOutcome::Timeout);
         assert_eq!(p.misses(), &[(a("10.0.0.9"), 7)]);
         assert_eq!(p.stats().requests, 2);

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use inet::Addr;
 use netsim::{Network, Verdict};
+use obs::{ProbeEvent, Recorder};
 use parking_lot::Mutex;
 use wire::{builder, Packet, Protocol};
 
@@ -47,6 +48,7 @@ impl SharedNetwork {
             seq: 0,
             retries: DEFAULT_RETRIES,
             stats: ProbeStats::default(),
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -61,6 +63,7 @@ pub struct SharedSimProber {
     seq: u16,
     retries: u8,
     stats: ProbeStats,
+    recorder: Recorder,
 }
 
 impl SharedSimProber {
@@ -73,6 +76,12 @@ impl SharedSimProber {
     /// Sets the silence retry budget.
     pub fn retries(mut self, retries: u8) -> Self {
         self.retries = retries;
+        self
+    }
+
+    /// Attaches a recorder that observes every wire attempt.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -101,7 +110,7 @@ impl Prober for SharedSimProber {
         self.protocol
     }
 
-    fn probe_with_flow(&mut self, dst: Addr, ttl: u8, _flow: u16) -> ProbeOutcome {
+    fn probe_with_flow(&mut self, dst: Addr, ttl: u8, flow: u16) -> ProbeOutcome {
         self.stats.requests += 1;
         let mut outcome = ProbeOutcome::Timeout;
         for attempt in 0..=self.retries {
@@ -110,16 +119,29 @@ impl Prober for SharedSimProber {
             }
             let probe = self.build_probe(dst, ttl);
             self.stats.sent += 1;
-            let verdict = self.net.with(|n| n.inject_bytes(&probe.encode()));
+            let (verdict, tick) = self.net.with(|n| (n.inject_bytes(&probe.encode()), n.tick()));
             outcome = match verdict {
-                Verdict::Reply(reply) => crate::sim::classify_reply(
-                    self.protocol,
-                    self.src,
-                    &probe,
-                    &reply,
-                ),
+                Verdict::Reply(reply) => {
+                    crate::sim::classify_reply(self.protocol, self.src, &probe, &reply)
+                }
                 Verdict::Silent(_) => ProbeOutcome::Timeout,
             };
+            self.recorder.record(|| {
+                let (kind, from) = outcome.observed();
+                ProbeEvent {
+                    tick,
+                    vantage: self.src,
+                    dst,
+                    ttl,
+                    protocol: self.protocol,
+                    flow,
+                    attempt,
+                    outcome: kind,
+                    from,
+                    phase: None,
+                    cause: None,
+                }
+            });
             if outcome != ProbeOutcome::Timeout {
                 break;
             }
@@ -154,6 +176,46 @@ mod tests {
         assert_eq!(pb.probe(c_addr, 64), ProbeOutcome::DirectReply { from: c_addr });
         // Engine clock advanced for both (shared state).
         assert!(shared.with(|n| n.tick()) >= 2);
+    }
+
+    #[test]
+    fn stats_invariants_hold_for_shared_prober() {
+        let (topo, names) = samples::chain(2);
+        let shared = SharedNetwork::new(Network::new(topo));
+        let v = names.addr("vantage");
+        let d = names.addr("dest");
+        let mut p = shared.prober(v, Protocol::Icmp).retries(2);
+        let _ = p.probe(d, 64); // direct reply
+        let _ = p.probe(d, 1); // ttl exceeded
+        let _ = p.probe("99.0.0.1".parse().unwrap(), 64); // timeout ×3 attempts
+        let s = p.stats();
+        assert_eq!(s.sent, s.requests + s.retries, "every send is a request or a retry");
+        assert_eq!(
+            s.requests,
+            s.direct_replies + s.ttl_exceeded + s.unreachable + s.timeouts,
+            "every request resolves to exactly one outcome"
+        );
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.retries, 2);
+    }
+
+    #[test]
+    fn recorder_counts_match_stats() {
+        use obs::{Registry, SinkHandle, VecSink};
+        use std::sync::Arc;
+
+        let (topo, names) = samples::chain(1);
+        let shared = SharedNetwork::new(Network::new(topo));
+        let sink = VecSink::new();
+        let reader = sink.clone();
+        let metrics = Arc::new(Registry::new());
+        let recorder =
+            Recorder::new().with_sink(SinkHandle::new(sink)).with_metrics(Arc::clone(&metrics));
+        let mut p = shared.prober(names.addr("vantage"), Protocol::Icmp).recorder(recorder);
+        let _ = p.probe(names.addr("dest"), 64);
+        let _ = p.probe("99.0.0.1".parse().unwrap(), 64);
+        assert_eq!(reader.len() as u64, p.stats().sent, "one event per wire send");
+        assert_eq!(metrics.sent_total(), p.stats().sent);
     }
 
     #[test]

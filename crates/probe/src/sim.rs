@@ -9,6 +9,7 @@
 
 use inet::Addr;
 use netsim::{Network, Verdict};
+use obs::{ProbeEvent, Recorder};
 use wire::{builder, IcmpMessage, Packet, Payload, Protocol, UnreachableCode};
 
 use crate::outcome::{ProbeOutcome, UnreachKind};
@@ -28,6 +29,7 @@ pub struct SimProber<'n> {
     seq: u16,
     retries: u8,
     stats: ProbeStats,
+    recorder: Recorder,
 }
 
 impl<'n> SimProber<'n> {
@@ -52,6 +54,7 @@ impl<'n> SimProber<'n> {
             seq: 0,
             retries: DEFAULT_RETRIES,
             stats: ProbeStats::default(),
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -70,6 +73,12 @@ impl<'n> SimProber<'n> {
     /// Sets the session identifier (echo ident / base port discriminator).
     pub fn ident(mut self, ident: u16) -> Self {
         self.ident = ident;
+        self
+    }
+
+    /// Attaches a recorder that observes every wire attempt.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -94,9 +103,7 @@ impl<'n> SimProber<'n> {
             Protocol::Udp => {
                 let (sport, dport) = match self.flow_mode {
                     FlowMode::Paris => (0x8000 | self.ident, builder::UDP_PROBE_BASE_PORT),
-                    FlowMode::Classic => {
-                        (0x8000 | self.ident, builder::UDP_PROBE_BASE_PORT + flow)
-                    }
+                    FlowMode::Classic => (0x8000 | self.ident, builder::UDP_PROBE_BASE_PORT + flow),
                 };
                 builder::udp_probe(self.src, dst, ttl, sport, dport)
             }
@@ -109,7 +116,6 @@ impl<'n> SimProber<'n> {
             }
         }
     }
-
 }
 
 /// Validates a reply against the probe that drew it and classifies it.
@@ -212,6 +218,23 @@ impl Prober for SimProber<'_> {
                 }
                 Verdict::Silent(_) => ProbeOutcome::Timeout,
             };
+            let tick = self.net.tick();
+            self.recorder.record(|| {
+                let (kind, from) = outcome.observed();
+                ProbeEvent {
+                    tick,
+                    vantage: self.src,
+                    dst,
+                    ttl,
+                    protocol: self.protocol,
+                    flow,
+                    attempt,
+                    outcome: kind,
+                    from,
+                    phase: None,
+                    cause: None,
+                }
+            });
             if outcome != ProbeOutcome::Timeout {
                 break;
             }
@@ -282,6 +305,61 @@ mod tests {
         assert_eq!(s.sent, 3);
         assert_eq!(s.retries, 2);
         assert_eq!(s.timeouts, 1);
+    }
+
+    /// The ProbeStats bookkeeping contract every prober must keep.
+    fn assert_stats_invariants(s: &ProbeStats) {
+        assert_eq!(s.sent, s.requests + s.retries, "every send is a request or a retry");
+        assert_eq!(
+            s.requests,
+            s.direct_replies + s.ttl_exceeded + s.unreachable + s.timeouts,
+            "every request resolves to exactly one outcome"
+        );
+    }
+
+    #[test]
+    fn stats_invariants_hold_across_mixed_outcomes() {
+        let (topo, names) = samples::chain(3);
+        let mut net = Network::new(topo);
+        let v = names.addr("vantage");
+        let d = names.addr("dest");
+        let mut p = SimProber::new(&mut net, v).retries(2);
+        let _ = p.probe(d, 64); // direct reply
+        let _ = p.probe(d, 1); // ttl exceeded
+        let _ = p.probe(d, 2); // ttl exceeded
+        let _ = p.probe("99.0.0.1".parse().unwrap(), 64); // timeout ×3 attempts
+        let s = p.stats();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.retries, 2);
+        assert_stats_invariants(&s);
+    }
+
+    #[test]
+    fn recorder_sees_every_wire_attempt() {
+        use obs::{Registry, SinkHandle, VecSink};
+        use std::sync::Arc;
+
+        let (topo, names) = samples::chain(2);
+        let mut net = Network::new(topo);
+        let v = names.addr("vantage");
+        let d = names.addr("dest");
+        let sink = VecSink::new();
+        let reader = sink.clone();
+        let metrics = Arc::new(Registry::new());
+        let recorder =
+            Recorder::new().with_sink(SinkHandle::new(sink)).with_metrics(Arc::clone(&metrics));
+        let mut p = SimProber::new(&mut net, v).retries(1).recorder(recorder);
+
+        let _ = p.probe(d, 64);
+        let _ = p.probe("99.0.0.1".parse().unwrap(), 64); // 2 attempts, both silent
+
+        let events = reader.events();
+        assert_eq!(events.len() as u64, p.stats().sent, "one event per wire send");
+        assert_eq!(events[0].outcome, obs::Outcome::DirectReply);
+        assert_eq!(events[0].from, Some(d));
+        assert_eq!(events[1].attempt, 0);
+        assert_eq!(events[2].attempt, 1, "retry attempts are numbered");
+        assert_eq!(metrics.sent_total(), p.stats().sent);
     }
 
     #[test]

@@ -19,10 +19,7 @@ pub struct BlockAlloc {
 impl BlockAlloc {
     /// An allocator over `region` (hands out sub-blocks in order).
     pub fn new(region: Prefix) -> BlockAlloc {
-        BlockAlloc {
-            next: region.network().to_u32(),
-            limit: region.broadcast().to_u32(),
-        }
+        BlockAlloc { next: region.network().to_u32(), limit: region.broadcast().to_u32() }
     }
 
     /// Takes the next aligned block of length `len`.

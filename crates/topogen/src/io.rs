@@ -12,8 +12,7 @@ use std::fmt;
 
 use inet::{Addr, Prefix};
 use netsim::{
-    LbMode, ProtoSet, RateLimit, ResponsePolicy, RouterConfig, RouterId, Topology,
-    TopologyBuilder,
+    LbMode, ProtoSet, RateLimit, ResponsePolicy, RouterConfig, RouterId, Topology, TopologyBuilder,
 };
 use serde_json::{json, Value};
 
@@ -209,9 +208,8 @@ pub fn from_json(text: &str) -> Result<Scenario, LoadError> {
 
     let mut ground_truth = GroundTruth::default();
     for g in as_array(&v["ground_truth"], "ground_truth")? {
-        let prefix: Prefix = as_str(&g["prefix"], "gt prefix")?
-            .parse()
-            .map_err(|e| shape(format!("{e}")))?;
+        let prefix: Prefix =
+            as_str(&g["prefix"], "gt prefix")?.parse().map_err(|e| shape(format!("{e}")))?;
         let members: Vec<Addr> = as_array(&g["members"], "gt members")?
             .iter()
             .map(|m| parse_addr(m, "gt member"))
@@ -243,8 +241,7 @@ fn config_from_json(v: &Value) -> Result<RouterConfig, LoadError> {
     c.rate_limit = match &v["rate_limit"] {
         Value::Null => None,
         rl => Some(RateLimit {
-            capacity: rl["capacity"].as_u64().ok_or_else(|| shape("rate_limit.capacity"))?
-                as u32,
+            capacity: rl["capacity"].as_u64().ok_or_else(|| shape("rate_limit.capacity"))? as u32,
             refill_every: rl["refill_every"]
                 .as_u64()
                 .ok_or_else(|| shape("rate_limit.refill_every"))?,
@@ -268,10 +265,9 @@ fn policy_from_json(v: &Value) -> Result<ResponsePolicy, LoadError> {
             "shortest_path" => Ok(ResponsePolicy::ShortestPath),
             other => Err(shape(format!("unknown policy {other:?}"))),
         },
-        Value::Object(_) => Ok(ResponsePolicy::Default(parse_addr(
-            &v["default"],
-            "default policy addr",
-        )?)),
+        Value::Object(_) => {
+            Ok(ResponsePolicy::Default(parse_addr(&v["default"], "default policy addr")?))
+        }
         _ => Err(shape("policy must be a string or {default: addr}")),
     }
 }

@@ -195,9 +195,8 @@ pub fn isp_internet_with(spec: IspInternetSpec) -> Scenario {
     let mut transit_alloc = BlockAlloc::new("30.0.0.0/12".parse::<Prefix>().expect("static"));
 
     // --- Transit core (infrastructure): ring of 8 with chords. -----------
-    let transit: Vec<RouterId> = (0..8)
-        .map(|i| nb.router(format!("transit{i}"), RouterConfig::cooperative()))
-        .collect();
+    let transit: Vec<RouterId> =
+        (0..8).map(|i| nb.router(format!("transit{i}"), RouterConfig::cooperative())).collect();
     for i in 0..transit.len() {
         nb.link(
             transit[i],
@@ -248,13 +247,7 @@ pub fn isp_internet_with(spec: IspInternetSpec) -> Scenario {
     }
 
     let (topology, ground_truth) = nb.finish();
-    Scenario {
-        name: "isp-internet".to_string(),
-        topology,
-        vantages,
-        targets,
-        ground_truth,
-    }
+    Scenario { name: "isp-internet".to_string(), topology, vantages, targets, ground_truth }
 }
 
 /// Draws a router config from the ISP's behavior mix.
@@ -266,11 +259,7 @@ fn draw_config(rng: &mut SmallRng, isp: &IspSpec) -> RouterConfig {
         tcp: rng.gen_bool(isp.tcp_direct),
     };
     // TTL-exceeded generation is less picky than direct answering.
-    cfg.indirect_protos = ProtoSet {
-        icmp: true,
-        udp: rng.gen_bool(0.9),
-        tcp: rng.gen_bool(0.8),
-    };
+    cfg.indirect_protos = ProtoSet { icmp: true, udp: rng.gen_bool(0.9), tcp: rng.gen_bool(0.8) };
     if rng.gen_bool(isp.nil_indirect) {
         cfg.indirect = ResponsePolicy::Nil;
     } else if rng.gen_bool(0.12) {
@@ -335,11 +324,11 @@ fn build_isp(
     // allocated from per-POP blocks in practice; wall-to-wall packing of
     // same-router links would merge under any collector).
     let uplink = |nb: &mut NetBuilder,
-                      p2p: &mut BlockAlloc,
-                      rng: &mut SmallRng,
-                      a: RouterId,
-                      b: RouterId,
-                      pool: &mut Vec<Addr>| {
+                  p2p: &mut BlockAlloc,
+                  rng: &mut SmallRng,
+                  a: RouterId,
+                  b: RouterId,
+                  pool: &mut Vec<Addr>| {
         let len = if rng.gen_bool(0.55) { 30 } else { 31 };
         let prefix = p2p.take(len);
         p2p.gap_to(len - 1);
@@ -403,12 +392,30 @@ fn build_isp(
                 if rng.gen_bool(isp.lan29_prob) {
                     lan_alloc.gap_to(24);
                     let prefix = lan_alloc.take(29);
-                    add_lan(nb, rng, isp, parent, prefix, vantages, &mut member_pool, &mut lan_hosts);
+                    add_lan(
+                        nb,
+                        rng,
+                        isp,
+                        parent,
+                        prefix,
+                        vantages,
+                        &mut member_pool,
+                        &mut lan_hosts,
+                    );
                 } else if rng.gen_bool(isp.lan_wide_prob) {
                     lan_alloc.gap_to(24);
                     let len = if rng.gen_bool(0.6) { 28 } else { 27 };
                     let prefix = lan_alloc.take(len);
-                    add_lan(nb, rng, isp, parent, prefix, vantages, &mut member_pool, &mut lan_hosts);
+                    add_lan(
+                        nb,
+                        rng,
+                        isp,
+                        parent,
+                        prefix,
+                        vantages,
+                        &mut member_pool,
+                        &mut lan_hosts,
+                    );
                 }
             }
         }
@@ -457,8 +464,7 @@ fn build_isp(
     // Target sampling: distinct members, deterministic. Link-dominated,
     // like the paper's router-interface target set; sized proportionally
     // to the ISP so bigger ISPs yield more collected subnets (Fig 8).
-    let n_targets =
-        ((member_pool.len() as f64 * target_coverage) as usize).min(target_cap).max(1);
+    let n_targets = ((member_pool.len() as f64 * target_coverage) as usize).min(target_cap).max(1);
     let mut targets = Vec::with_capacity(n_targets);
     let mut seen = std::collections::HashSet::new();
     while targets.len() < n_targets && seen.len() < member_pool.len() {
@@ -495,16 +501,7 @@ fn add_lan(
         SubnetIntent::Partial => rng.gen_range(2..=4),
         _ => (capacity * 17 / 20).max(5),
     };
-    let members = nb.lan(
-        gw,
-        prefix,
-        total - 1,
-        4,
-        draw_config(rng, isp),
-        &[],
-        intent,
-        &isp.name,
-    );
+    let members = nb.lan(gw, prefix, total - 1, 4, draw_config(rng, isp), &[], intent, &isp.name);
     maybe_scope(nb, rng, vantages);
     lan_hosts.push(gw);
     if intent != SubnetIntent::Filtered {
@@ -536,10 +533,7 @@ mod tests {
         let sc = isp_internet_with(small_spec(1));
         assert_eq!(sc.vantages.len(), 3);
         for name in ISP_NAMES {
-            assert!(
-                sc.ground_truth.of_network(name).count() > 10,
-                "{name} should have subnets"
-            );
+            assert!(sc.ground_truth.of_network(name).count() > 10, "{name} should have subnets");
         }
         assert!(sc.targets.len() <= 4 * 40);
         assert!(sc.targets.len() >= 4 * 10);
@@ -561,9 +555,7 @@ mod tests {
     #[test]
     fn ntt_has_large_subnets_others_do_not() {
         let sc = isp_internet_with(small_spec(3));
-        let has_large = |name: &str| {
-            sc.ground_truth.of_network(name).any(|s| s.prefix.len() <= 22)
-        };
+        let has_large = |name: &str| sc.ground_truth.of_network(name).any(|s| s.prefix.len() <= 22);
         assert!(has_large("ntt"));
         assert!(!has_large("sprintlink"));
         assert!(!has_large("level3"));

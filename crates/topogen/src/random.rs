@@ -29,13 +29,7 @@ pub fn random_topology(seed: u64, size: usize) -> Scenario {
     let (v_addr, _) =
         nb.link(vantage_host, core[0], infra.take(30), SubnetIntent::Infrastructure, "infra");
     for i in 0..core_n {
-        nb.link(
-            core[i],
-            core[(i + 1) % core_n],
-            p2p.take(31),
-            SubnetIntent::Normal,
-            "random",
-        );
+        nb.link(core[i], core[(i + 1) % core_n], p2p.take(31), SubnetIntent::Normal, "random");
     }
 
     let mut attachable: Vec<RouterId> = core.clone();

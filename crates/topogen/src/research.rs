@@ -106,9 +106,7 @@ pub fn research_net(spec: ResearchNetSpec) -> Scenario {
     let mut lans = {
         // LAN pool: the upper half of the region, strided per /24.
         let base = spec.region.network().to_u32() + (1 << (31 - spec.region.len() as u32));
-        BlockAlloc::new(
-            Prefix::new(Addr::from_u32(base), spec.region.len() + 1).expect("aligned"),
-        )
+        BlockAlloc::new(Prefix::new(Addr::from_u32(base), spec.region.len() + 1).expect("aligned"))
     };
 
     // Response-policy mix for backbone routers: mostly incoming-interface
@@ -125,13 +123,8 @@ pub fn research_net(spec: ResearchNetSpec) -> Scenario {
     let vantage_host = nb.host("vantage");
     let access = nb.router("access", RouterConfig::cooperative());
     let net = spec.name.clone();
-    let (v_addr, _) = nb.link(
-        vantage_host,
-        access,
-        infra.take(30),
-        SubnetIntent::Infrastructure,
-        "access",
-    );
+    let (v_addr, _) =
+        nb.link(vantage_host, access, infra.take(30), SubnetIntent::Infrastructure, "access");
 
     // --- Core ring + chords. ---------------------------------------------
     let core: Vec<RouterId> = (0..spec.core_size)

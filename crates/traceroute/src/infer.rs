@@ -205,9 +205,8 @@ mod tests {
 
     #[test]
     fn output_partitions_input() {
-        let obs: Vec<(Addr, u16)> = (0..32u32)
-            .map(|i| (Addr::from_u32(0x0a000000 + i * 3), 2 + (i % 2) as u16))
-            .collect();
+        let obs: Vec<(Addr, u16)> =
+            (0..32u32).map(|i| (Addr::from_u32(0x0a000000 + i * 3), 2 + (i % 2) as u16)).collect();
         let subnets = infer_subnets(&obs, InferenceOptions::default());
         let total: usize = subnets.iter().map(|s| s.len()).sum();
         let distinct: std::collections::BTreeSet<Addr> = obs.iter().map(|&(a, _)| a).collect();

@@ -52,9 +52,7 @@ pub fn ping<P: Prober>(prober: &mut P, target: Addr, count: u8) -> PingReport {
 pub fn ping_sweep<P: Prober>(prober: &mut P, prefix: inet::Prefix) -> Vec<Addr> {
     prefix
         .probe_addrs()
-        .filter(|&addr| {
-            matches!(prober.probe(addr, 64), ProbeOutcome::DirectReply { .. })
-        })
+        .filter(|&addr| matches!(prober.probe(addr, 64), ProbeOutcome::DirectReply { .. }))
         .collect()
 }
 

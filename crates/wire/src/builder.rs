@@ -158,10 +158,7 @@ mod tests {
         match back.payload {
             Payload::Icmp(IcmpMessage::TtlExceeded { quoted }) => {
                 assert_eq!(quoted.header.dst, D);
-                assert_eq!(
-                    u16::from_be_bytes([quoted.transport[0], quoted.transport[1]]),
-                    54000
-                );
+                assert_eq!(u16::from_be_bytes([quoted.transport[0], quoted.transport[1]]), 54000);
             }
             _ => panic!("not ttl exceeded"),
         }

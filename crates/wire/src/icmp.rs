@@ -146,9 +146,7 @@ impl IcmpMessage {
                     IcmpMessage::EchoReply { ident, seq }
                 })
             }
-            (11, 0) => {
-                Ok(IcmpMessage::TtlExceeded { quoted: Self::decode_quote(&buf[8..])? })
-            }
+            (11, 0) => Ok(IcmpMessage::TtlExceeded { quoted: Self::decode_quote(&buf[8..])? }),
             (3, c) => {
                 let code = UnreachableCode::from_code(c)
                     .ok_or(DecodeError::UnsupportedIcmp { icmp_type: ty, code: c })?;
@@ -247,7 +245,7 @@ mod tests {
         let m = IcmpMessage::TtlExceeded { quoted: quoted() };
         let mut b = m.encode();
         b.truncate(b.len() - 3); // cut into the 8 transport bytes
-        // fix outer checksum for the truncated body
+                                 // fix outer checksum for the truncated body
         b[2] = 0;
         b[3] = 0;
         let c = checksum::internet_checksum(&b);

@@ -186,7 +186,7 @@ mod tests {
     fn rejects_unknown_protocol() {
         let mut bytes = sample().encode(0).to_vec();
         bytes[9] = 47; // GRE
-        // re-fix checksum
+                       // re-fix checksum
         bytes[10] = 0;
         bytes[11] = 0;
         let c = checksum::internet_checksum(&bytes[..IPV4_HEADER_LEN]);

@@ -151,11 +151,7 @@ mod tests {
         // send that inside a full packet, and recover the original ports.
         let probe = Packet::new(
             header(Protocol::Udp),
-            Payload::Udp(UdpDatagram {
-                src_port: 0x8235,
-                dst_port: 0x829b,
-                payload: vec![0; 4],
-            }),
+            Payload::Udp(UdpDatagram { src_port: 0x8235, dst_port: 0x829b, payload: vec![0; 4] }),
         );
         let err = Packet::new(
             Ipv4Header {

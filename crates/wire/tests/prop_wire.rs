@@ -5,8 +5,8 @@
 use inet::Addr;
 use proptest::prelude::*;
 use wire::{
-    builder, IcmpMessage, Ipv4Header, Packet, Payload, Protocol, TcpFlags, TcpSegment,
-    UdpDatagram, UnreachableCode,
+    builder, IcmpMessage, Ipv4Header, Packet, Payload, Protocol, TcpFlags, TcpSegment, UdpDatagram,
+    UnreachableCode,
 };
 
 fn arb_addr() -> impl Strategy<Value = Addr> {
@@ -29,10 +29,7 @@ fn arb_unreachable_code() -> impl Strategy<Value = UnreachableCode> {
 }
 
 fn arb_quoted() -> impl Strategy<Value = wire::QuotedDatagram> {
-    (
-        arb_header(Protocol::Udp),
-        proptest::array::uniform8(any::<u8>()),
-    )
+    (arb_header(Protocol::Udp), proptest::array::uniform8(any::<u8>()))
         .prop_map(|(header, transport)| wire::QuotedDatagram { header, transport })
 }
 
@@ -40,8 +37,7 @@ fn arb_icmp() -> impl Strategy<Value = IcmpMessage> {
     prop_oneof![
         (any::<u16>(), any::<u16>())
             .prop_map(|(ident, seq)| IcmpMessage::EchoRequest { ident, seq }),
-        (any::<u16>(), any::<u16>())
-            .prop_map(|(ident, seq)| IcmpMessage::EchoReply { ident, seq }),
+        (any::<u16>(), any::<u16>()).prop_map(|(ident, seq)| IcmpMessage::EchoReply { ident, seq }),
         arb_quoted().prop_map(|quoted| IcmpMessage::TtlExceeded { quoted }),
         (arb_unreachable_code(), arb_quoted())
             .prop_map(|(code, quoted)| IcmpMessage::Unreachable { code, quoted }),
@@ -51,12 +47,9 @@ fn arb_icmp() -> impl Strategy<Value = IcmpMessage> {
 fn arb_payload() -> impl Strategy<Value = Payload> {
     prop_oneof![
         arb_icmp().prop_map(Payload::Icmp),
-        (any::<u16>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64))
-            .prop_map(|(s, d, p)| Payload::Udp(UdpDatagram {
-                src_port: s,
-                dst_port: d,
-                payload: p
-            })),
+        (any::<u16>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(
+            |(s, d, p)| Payload::Udp(UdpDatagram { src_port: s, dst_port: d, payload: p })
+        ),
         (any::<u16>(), any::<u16>(), any::<u32>(), any::<u32>(), any::<u8>()).prop_map(
             |(s, d, seq, ack, f)| Payload::Tcp(TcpSegment {
                 src_port: s,

@@ -53,10 +53,7 @@ fn main() {
     let shared: Vec<&Prefix> = s1.intersection(&s3).collect();
     println!("\ntracenet verdict: paths share {} subnet(s): {shared:?}", shared.len());
     let m: Prefix = "10.2.0.0/29".parse().unwrap();
-    assert!(
-        shared.contains(&&m),
-        "the multi-access LAN M must be exposed as shared"
-    );
+    assert!(shared.contains(&&m), "the multi-access LAN M must be exposed as shared");
     println!(
         "\nThe \"disjoint\" overlay paths both cross LAN {m} (routers R2, R4, \
          R5, R8) — exactly the incorrect-disjointness conclusion of the \

@@ -9,7 +9,7 @@
 use evalkit::run::run_tracenet;
 use netsim::Network;
 use probe::Protocol;
-use topogen::{isp_internet_with, default_isps, IspInternetSpec};
+use topogen::{default_isps, isp_internet_with, IspInternetSpec};
 use tracenet::TracenetOptions;
 
 fn main() {
@@ -31,13 +31,8 @@ fn main() {
     println!("{:>6} {:>9} {:>10} {:>8}", "proto", "subnets", "addresses", "probes");
     let mut net = Network::new(scenario.topology.clone());
     for proto in [Protocol::Icmp, Protocol::Udp, Protocol::Tcp] {
-        let collected = run_tracenet(
-            &mut net,
-            rice,
-            &scenario.targets,
-            proto,
-            &TracenetOptions::default(),
-        );
+        let collected =
+            run_tracenet(&mut net, rice, &scenario.targets, proto, &TracenetOptions::default());
         println!(
             "{:>6} {:>9} {:>10} {:>8}",
             format!("{proto:?}"),

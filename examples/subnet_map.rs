@@ -19,14 +19,11 @@ fn main() {
     let mut net = Network::new(topo);
     let mut graph = SubnetGraph::new();
 
-    for (k, (vantage, dest)) in [("A", "D"), ("B", "C"), ("A", "C"), ("B", "D")]
-        .into_iter()
-        .enumerate()
+    for (k, (vantage, dest)) in
+        [("A", "D"), ("B", "C"), ("A", "C"), ("B", "D")].into_iter().enumerate()
     {
-        let mut prober =
-            SimProber::new(&mut net, names.addr(vantage)).ident(0x4d00 + k as u16);
-        let report =
-            Session::new(&mut prober, TracenetOptions::default()).run(names.addr(dest));
+        let mut prober = SimProber::new(&mut net, names.addr(vantage)).ident(0x4d00 + k as u16);
+        let report = Session::new(&mut prober, TracenetOptions::default()).run(names.addr(dest));
         graph.add_report(&report);
         eprintln!(
             "traced {vantage} -> {dest}: {} hops, {} probes",

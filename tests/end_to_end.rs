@@ -3,7 +3,7 @@
 //! headline numbers.
 
 use evalkit::classify::{classify, SubnetTable};
-use evalkit::run::{run_traceroute, run_tracenet};
+use evalkit::run::{run_tracenet, run_traceroute};
 use netsim::{samples, Network};
 use probe::Protocol;
 use topogen::{geant, internet2, GtSubnet};
@@ -49,10 +49,7 @@ fn geant_exact_match_rates_hold() {
     assert!((0.45..=0.62).contains(&incl), "incl rate {incl}");
     assert!((0.92..=1.0).contains(&excl), "excl rate {excl}");
     assert_eq!(table.row_total("orgl"), 271);
-    assert!(
-        table.row_total("miss\\unrs") >= 80,
-        "GEANT's missing subnets are mostly unresponsive"
-    );
+    assert!(table.row_total("miss\\unrs") >= 80, "GEANT's missing subnets are mostly unresponsive");
 }
 
 /// The Figure 3 scene end-to-end through the public API.

@@ -78,10 +78,7 @@ fn scoped_acls_shape_per_vantage_visibility() {
         );
         for p in collected.prefixes() {
             // No collected prefix may be (inside) a blocked subnet.
-            assert!(
-                !blocked.iter().any(|b| b.covers(p)),
-                "{vn} collected blocked subnet {p}"
-            );
+            assert!(!blocked.iter().any(|b| b.covers(p)), "{vn} collected blocked subnet {p}");
         }
     }
 }

@@ -153,10 +153,7 @@ fn exactness_dominates_across_seeds() {
     }
     let exact = by_class.get("exmt").copied().unwrap_or(0);
     let total: usize = by_class.values().sum();
-    assert!(
-        exact * 2 > total,
-        "exact matches should dominate: {by_class:?}"
-    );
+    assert!(exact * 2 > total, "exact matches should dominate: {by_class:?}");
     let merged = by_class.get("merg").copied().unwrap_or(0);
     assert!(merged * 20 < total, "merges should be rare: {by_class:?}");
 }

@@ -1,0 +1,367 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! The build environment is offline, so the workspace vendors the slice
+//! of the criterion API its benches use: `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `Bencher` with
+//! `iter`/`iter_batched`, `BenchmarkId`, `BatchSize`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simpler than upstream (no outlier
+//! analysis, no HTML reports): each bench is warmed up, then timed over
+//! `sample_size` samples, and the median ns/iter is printed. That is
+//! enough to compare two checkouts of this repo on the same machine,
+//! which is what the acceptance bar for perf PRs asks for.
+//!
+//! When the binary is not invoked through `cargo bench` (no `--bench`
+//! argument — e.g. `cargo test` building harness-less bench targets),
+//! every bench runs exactly once as a smoke test, so the suite stays
+//! fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim times routine
+/// executions individually, so the variants only tune batch bookkeeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap; large batches.
+    SmallInput,
+    /// Inputs are expensive to build; one input per measurement.
+    LargeInput,
+    /// One routine call per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("encode", 64)` renders as `encode/64`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Anything usable as a bench name: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+/// Measurement settings shared by a group of benches.
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    measure_per_sample: Duration,
+    smoke_test: bool,
+}
+
+impl Settings {
+    fn from_env() -> Self {
+        // cargo passes `--bench` when invoked as `cargo bench`; any other
+        // invocation (notably `cargo test` building harness-less bench
+        // targets) gets a single-shot smoke run, mirroring upstream.
+        let smoke_test = !std::env::args().any(|a| a == "--bench");
+        Settings { sample_size: 10, measure_per_sample: Duration::from_millis(20), smoke_test }
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    settings: Settings,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free argument (not a flag) filters benches by substring,
+        // like upstream `cargo bench -- <filter>`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { settings: Settings::from_env(), filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            filter: self.filter.clone(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped bench.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// A group of benches sharing settings; mirrors
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Settings,
+    filter: Option<String>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one bench in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = self.full_name(id.into_name());
+        if self.skipped(&full) {
+            return self;
+        }
+        let mut bencher = Bencher { settings: self.settings.clone(), samples: Vec::new() };
+        f(&mut bencher);
+        bencher.report(&full);
+        self
+    }
+
+    /// Runs one bench that borrows a prepared input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = self.full_name(id.into_name());
+        if self.skipped(&full) {
+            return self;
+        }
+        let mut bencher = Bencher { settings: self.settings.clone(), samples: Vec::new() };
+        f(&mut bencher, input);
+        bencher.report(&full);
+        self
+    }
+
+    /// Ends the group (no-op beyond upstream API parity).
+    pub fn finish(&mut self) {}
+
+    fn full_name(&self, leaf: String) -> String {
+        if self.name.is_empty() {
+            leaf
+        } else {
+            format!("{}/{}", self.name, leaf)
+        }
+    }
+
+    fn skipped(&self, full: &str) -> bool {
+        match &self.filter {
+            Some(f) => !full.contains(f.as_str()),
+            None => false,
+        }
+    }
+}
+
+/// Times one benchmark routine; mirrors `criterion::Bencher`.
+pub struct Bencher {
+    settings: Settings,
+    samples: Vec<f64>, // ns per iteration
+}
+
+impl Bencher {
+    /// Times `routine` run back to back.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.settings.smoke_test {
+            black_box(routine());
+            return;
+        }
+        let iters = calibrate(&mut || {
+            black_box(routine());
+        });
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.settings.smoke_test {
+            black_box(routine(setup()));
+            return;
+        }
+        // One input per measured call: setup stays outside the clock.
+        let per_sample = self.settings.measure_per_sample;
+        for _ in 0..self.settings.sample_size {
+            let mut spent = Duration::ZERO;
+            let mut iters = 0u64;
+            while spent < per_sample && iters < 1_000_000 {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                spent += start.elapsed();
+                iters += 1;
+            }
+            self.samples.push(spent.as_nanos() as f64 / iters.max(1) as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} smoke-tested (1 iteration)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("ns values are finite"));
+        let median = sorted[sorted.len() / 2];
+        let lo = sorted[0];
+        let hi = sorted[sorted.len() - 1];
+        println!("{name:<50} time: [{} {} {}]", format_ns(lo), format_ns(median), format_ns(hi));
+    }
+}
+
+/// Picks an iteration count so one sample takes roughly the measurement
+/// window.
+fn calibrate(routine: &mut dyn FnMut()) -> u64 {
+    let start = Instant::now();
+    routine();
+    let once = start.elapsed().max(Duration::from_nanos(20));
+    let window = Duration::from_millis(20);
+    ((window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000)) as u64
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a benchmark group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_renders_like_criterion() {
+        assert_eq!(BenchmarkId::new("session_lan", "/28").to_string(), "session_lan//28");
+        assert_eq!(BenchmarkId::new("infer", 64).to_string(), "infer/64");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            settings: Settings {
+                sample_size: 3,
+                measure_per_sample: Duration::from_micros(200),
+                smoke_test: false,
+            },
+            samples: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            settings: Settings {
+                sample_size: 2,
+                measure_per_sample: Duration::from_micros(100),
+                smoke_test: false,
+            },
+            samples: Vec::new(),
+        };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        assert_eq!(b.samples.len(), 2);
+    }
+}

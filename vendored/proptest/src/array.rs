@@ -1,0 +1,26 @@
+//! Fixed-size array strategies, mirroring `proptest::array`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Generates `[T; 8]` with every element drawn from `element`.
+pub fn uniform8<S: Strategy>(element: S) -> Uniform<S, 8> {
+    Uniform { element }
+}
+
+/// Generates `[T; 4]` with every element drawn from `element`.
+pub fn uniform4<S: Strategy>(element: S) -> Uniform<S, 4> {
+    Uniform { element }
+}
+
+/// The strategy behind the `uniformN` constructors.
+pub struct Uniform<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for Uniform<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, runner: &mut TestRunner) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.generate(runner))
+    }
+}

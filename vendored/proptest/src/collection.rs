@@ -1,0 +1,54 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Size specifications accepted by [`vec`].
+pub trait SizeRange {
+    /// Inclusive `(lo, hi)` bounds on the length.
+    fn bounds_inclusive(&self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn bounds_inclusive(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds_inclusive(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn bounds_inclusive(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Generates `Vec`s whose length falls in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+    let (lo, hi) = size.bounds_inclusive();
+    VecStrategy { element, lo, hi }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        let span = (self.hi - self.lo) as u64 + 1;
+        let len = self.lo + runner.below(span) as usize;
+        (0..len).map(|_| self.element.generate(runner)).collect()
+    }
+}

@@ -1,0 +1,151 @@
+//! In-tree stand-in for the `proptest` crate.
+//!
+//! The build environment is offline, so the workspace vendors the slice
+//! of proptest its property tests use: the `proptest!` macro, `Strategy`
+//! with `prop_map`, `any::<T>()`, integer range strategies, tuple
+//! strategies, `Just`, `prop_oneof!`, `collection::vec`,
+//! `array::uniform8`, and the `prop_assert*` macros.
+//!
+//! Semantics vs upstream:
+//! - Generation is deterministic per test (seeded from the test name),
+//!   so failures reproduce exactly on re-run.
+//! - There is **no shrinking**: a failing case reports the assertion at
+//!   the size it was drawn. The assertion messages in this workspace
+//!   already embed the inputs (seeds, prefixes), which keeps failures
+//!   debuggable without it.
+//! - `ProptestConfig::with_cases(n)` controls the case count; the
+//!   default is 256 like upstream.
+
+#![forbid(unsafe_code)]
+
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `cases` inputs and runs the body on
+/// each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands each test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut runner =
+                    $crate::test_runner::TestRunner::deterministic(stringify!($name));
+                for _case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strategy), &mut runner);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Boolean property assertion; panics (failing the test) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Picks one of several strategies per generated case. (The upstream
+/// weighted `w => strategy` form is not used in this workspace and is
+/// not supported.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u8..=9, b in 10usize..20, c in any::<u16>()) {
+            prop_assert!((3..=9).contains(&a));
+            prop_assert!((10..20).contains(&b));
+            let _ = c;
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(pair in (0u32..5, 0u32..5).prop_map(|(x, y)| x * 10 + y)) {
+            prop_assert!(pair <= 44);
+            prop_assert_eq!(pair % 10, pair - (pair / 10) * 10);
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2u8), 5u8..=6]) {
+            prop_assert!(matches!(v, 1 | 2 | 5 | 6));
+            prop_assert_ne!(v, 0);
+        }
+
+        #[test]
+        fn collections_respect_size(
+            bytes in crate::collection::vec(any::<u8>(), 2..7),
+            octets in crate::array::uniform8(1u8..=3),
+        ) {
+            prop_assert!((2..7).contains(&bytes.len()));
+            prop_assert!(octets.iter().all(|&o| (1..=3).contains(&o)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let draw = || {
+            let mut r = crate::test_runner::TestRunner::deterministic("fixed_name");
+            (0..16).map(|_| Strategy::generate(&(0u64..1000), &mut r)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+}

@@ -1,0 +1,243 @@
+//! In-tree stand-in for the `rand` crate (0.8-style API).
+//!
+//! The build environment is offline, so the workspace vendors the slice
+//! of rand it consumes: `rngs::SmallRng`, `SeedableRng::seed_from_u64`,
+//! and `Rng::{gen_range, gen_bool, gen}` over the integer types the
+//! topology generators draw. The generator is xoshiro256++ seeded via
+//! splitmix64 — deterministic for a given seed, which is all the
+//! scenario generators require (they key every artefact off `--seed`).
+//!
+//! The stream differs from upstream `SmallRng`, so topologies generated
+//! for a seed here are not byte-identical to ones generated with the
+//! real crate; every consumer in this repo treats the seed as an opaque
+//! reproducibility handle, not a cross-implementation contract.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable random number generator, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core RNG plumbing, mirroring the subset of `rand::RngCore` we need.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        let (lo, hi) = range.bounds_inclusive();
+        T::sample_inclusive(self, lo, hi)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 uniform mantissa bits, same construction rand uses.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Samples a value of a `Standard`-distributed type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types with a "standard" full-range distribution (for `Rng::gen`).
+pub trait Standard: Sized {
+    /// Draws one value from the full domain of the type.
+    fn standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn standard<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from the inclusive interval `[lo, hi]`.
+    fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                // Rejection-free draw; modulo bias is < 2^-64 for the
+                // spans the generators use and irrelevant to them.
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Decomposes into inclusive `(lo, hi)` bounds.
+    fn bounds_inclusive(self) -> (T, T);
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn bounds_inclusive(self) -> ($t, $t) {
+                assert!(self.start < self.end, "gen_range: empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn bounds_inclusive(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic RNG (xoshiro256++ here).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// `rand::prelude`-style glob import support.
+pub mod prelude {
+    pub use super::rngs::SmallRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        let same: Vec<u32> = (0..8).map(|_| a.gen_range(0u32..u32::MAX)).collect();
+        let diff: Vec<u32> = (0..8).map(|_| c.gen_range(0u32..u32::MAX)).collect();
+        assert_ne!(same, diff);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(3..9);
+            assert!((3..9).contains(&x));
+            let y: u8 = rng.gen_range(200..=255);
+            assert!(y >= 200);
+            let z: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&z));
+        }
+        // Single-value inclusive range is legal.
+        assert_eq!(rng.gen_range(4u32..=4), 4);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rough_balance() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "hits={hits}");
+    }
+}

@@ -1,0 +1,465 @@
+//! In-tree stand-in for the `serde_json` crate.
+//!
+//! The build environment is offline, so the workspace vendors the slice
+//! of serde_json it uses: the dynamic [`Value`] tree, the [`json!`]
+//! literal macro, [`from_str`] / [`to_string_pretty`], indexing, and
+//! comparisons against plain Rust types. There is no serde derive layer
+//! — every caller in this repo works through `Value` explicitly.
+//!
+//! Differences from upstream kept deliberately small:
+//! - Objects preserve insertion order (upstream: `Map` is order-preserving
+//!   by default too, so round-trips look identical).
+//! - Numbers are stored as `f64`; integers are exact up to 2^53, far
+//!   beyond any counter this workspace serializes.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+mod de;
+mod ser;
+
+pub use de::from_str;
+pub use ser::{to_string, to_string_pretty};
+
+/// A parse error: what went wrong and where.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    line: usize,
+    col: usize,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>, line: usize, col: usize) -> Self {
+        Error { msg: msg.into(), line, col }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at line {} column {}", self.msg, self.line, self.col)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A dynamically typed JSON value.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// String contents, if this is a `Value::String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean contents, if this is a `Value::Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The number as an `i64`, if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n)
+                if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 =>
+            {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The number as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a `Value::Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is a `Value::Object`.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member lookup that never panics: `Null` for missing keys,
+    /// non-objects, and out-of-range indices.
+    pub fn get<I: ValueIndex>(&self, index: I) -> Option<&Value> {
+        index.get(self)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact (no whitespace) JSON, matching `serde_json::Value`'s
+    /// `Display`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&ser::to_string(self))
+    }
+}
+
+/// Index types usable with `value[...]`.
+pub trait ValueIndex {
+    /// Non-panicking lookup.
+    fn get<'v>(&self, v: &'v Value) -> Option<&'v Value>;
+    /// Lookup for mutation; inserts `Null` members into objects like
+    /// upstream serde_json, panics on type mismatch.
+    fn get_mut<'v>(&self, v: &'v mut Value) -> &'v mut Value;
+}
+
+impl ValueIndex for str {
+    fn get<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        match v {
+            Value::Object(o) => o.iter().find(|(k, _)| k == self).map(|(_, val)| val),
+            _ => None,
+        }
+    }
+
+    fn get_mut<'v>(&self, v: &'v mut Value) -> &'v mut Value {
+        if let Value::Null = v {
+            *v = Value::Object(Vec::new());
+        }
+        match v {
+            Value::Object(o) => {
+                if let Some(i) = o.iter().position(|(k, _)| k == self) {
+                    &mut o[i].1
+                } else {
+                    o.push((self.to_string(), Value::Null));
+                    &mut o.last_mut().expect("just pushed").1
+                }
+            }
+            other => panic!("cannot index {} with a string key", ser::type_name(other)),
+        }
+    }
+}
+
+impl ValueIndex for &str {
+    fn get<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        ValueIndex::get(*self, v)
+    }
+    fn get_mut<'v>(&self, v: &'v mut Value) -> &'v mut Value {
+        ValueIndex::get_mut(*self, v)
+    }
+}
+
+impl ValueIndex for String {
+    fn get<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        ValueIndex::get(self.as_str(), v)
+    }
+    fn get_mut<'v>(&self, v: &'v mut Value) -> &'v mut Value {
+        ValueIndex::get_mut(self.as_str(), v)
+    }
+}
+
+impl ValueIndex for usize {
+    fn get<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        match v {
+            Value::Array(a) => a.get(*self),
+            _ => None,
+        }
+    }
+
+    fn get_mut<'v>(&self, v: &'v mut Value) -> &'v mut Value {
+        match v {
+            Value::Array(a) => a.get_mut(*self).expect("array index out of bounds"),
+            other => panic!("cannot index {} with a number", ser::type_name(other)),
+        }
+    }
+}
+
+impl<I: ValueIndex> Index<I> for Value {
+    type Output = Value;
+    fn index(&self, index: I) -> &Value {
+        index.get(self).unwrap_or(&NULL)
+    }
+}
+
+impl<I: ValueIndex> IndexMut<I> for Value {
+    fn index_mut(&mut self, index: I) -> &mut Value {
+        index.get_mut(self)
+    }
+}
+
+// ---- comparisons against plain Rust types (for assert_eq! ergonomics) ----
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for bool {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+macro_rules! impl_eq_number {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+impl_eq_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Conversion into [`Value`] by reference — what the [`json!`] macro
+/// calls on interpolated expressions (mirroring upstream's
+/// `to_value(&expr)` behaviour, so place expressions behind borrows
+/// work).
+pub trait ToJson {
+    /// Builds the `Value` representation.
+    fn to_json_value(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! impl_to_json_number {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+impl_to_json_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal with interpolated Rust
+/// expressions in value position.
+///
+/// Supported: `json!(null)`, scalars, `json!([a, b, ...])`, and
+/// `json!({ "key": expr, ... })` with string-literal keys. Nested
+/// literals go through nested `json!` invocations (which is how every
+/// call site in this workspace is written).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::ToJson::to_json_value(&$value)) ),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![
+            $( $crate::ToJson::to_json_value(&$value) ),*
+        ])
+    };
+    ($other:expr) => { $crate::ToJson::to_json_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "name": "lan",
+            "n": 3u32,
+            "flag": true,
+            "none": Option::<String>::None,
+            "list": vec![1u8, 2, 3],
+        });
+        assert_eq!(v["name"], "lan");
+        assert_eq!(v["n"].as_u64(), Some(3));
+        assert_eq!(v["flag"], true);
+        assert!(v["none"].is_null());
+        assert_eq!(v["list"].as_array().unwrap().len(), 3);
+        assert!(v["missing"].is_null());
+        assert_eq!(json!("bare"), "bare");
+        assert_eq!(json!(9999).as_u64(), Some(9999));
+        assert_eq!(json!([1u8, 2]).as_array().unwrap().len(), 2);
+        assert_eq!(json!(null), Value::Null);
+    }
+
+    #[test]
+    fn display_is_compact_and_roundtrips() {
+        let v = json!({"a": 1u8, "b": json!([true, Value::Null, "x"])});
+        let s = v.to_string();
+        assert_eq!(s, r#"{"a":1,"b":[true,null,"x"]}"#);
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn index_mut_replaces_nested_member() {
+        let mut v = json!({"ifaces": [json!({"router": 1u8})]});
+        v["ifaces"][0]["router"] = json!(9999);
+        assert_eq!(v["ifaces"][0]["router"].as_u64(), Some(9999));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = from_str("{\n  \"a\": nope}").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+}
