@@ -1,18 +1,26 @@
 //! Regenerates **Figure 8**: subnet count per ISP at each vantage point.
 //!
 //! ```text
-//! cargo run --release -p bench-suite --bin fig8 [seed]
+//! cargo run --release -p bench-suite --bin fig8 [seed] [--jobs N] [--no-cache]
 //! ```
+//!
+//! `--jobs N` fans each vantage's targets over N worker threads and
+//! `--no-cache` disables the cross-session subnet cache; the default
+//! (one worker, cache on) reproduces the sequential collection order.
 
-use bench_suite::{isp_experiment, SEED};
+use bench_suite::{batch_args, isp_experiment_with};
 use evalkit::render::table;
 use obs::Phase;
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(SEED);
-    let exp = isp_experiment(seed);
+    let (seed, cfg) = batch_args();
+    let exp = isp_experiment_with(seed, &cfg);
     println!("== Figure 8: subnets per ISP per vantage point ==");
-    println!("seed: {seed}\n");
+    println!(
+        "seed: {seed}, jobs: {}, cache: {}\n",
+        cfg.jobs,
+        if cfg.use_cache { "on" } else { "off" }
+    );
     let counts = exp.subnet_counts();
     let isps: Vec<&str> = counts[0].1.iter().map(|(isp, _)| isp.as_str()).collect();
     let mut headers = vec!["vantage"];
@@ -38,6 +46,12 @@ fn main() {
             m.sent_in(Phase::Explore),
             m.sent_total()
         );
+        if cfg.use_cache {
+            println!(
+                "  {:<8} subnet cache: {} hits, {} skips, {} misses",
+                "", run.cache.hits, run.cache.skips, run.cache.misses
+            );
+        }
     }
     println!();
     println!("paper shape: per-ISP counts are close to each other across vantage");

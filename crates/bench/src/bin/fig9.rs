@@ -2,17 +2,24 @@
 //! (log scale) at each vantage point.
 //!
 //! ```text
-//! cargo run --release -p bench-suite --bin fig9 [seed]
+//! cargo run --release -p bench-suite --bin fig9 [seed] [--jobs N] [--no-cache]
 //! ```
+//!
+//! `--jobs N` fans each vantage's targets over N worker threads and
+//! `--no-cache` disables the cross-session subnet cache.
 
-use bench_suite::{isp_experiment, paper, SEED};
+use bench_suite::{batch_args, isp_experiment_with, paper};
 use evalkit::render::log_bar;
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(SEED);
-    let exp = isp_experiment(seed);
+    let (seed, cfg) = batch_args();
+    let exp = isp_experiment_with(seed, &cfg);
     println!("== Figure 9: subnet prefix length distribution per vantage ==");
-    println!("seed: {seed}");
+    println!(
+        "seed: {seed}, jobs: {}, cache: {}",
+        cfg.jobs,
+        if cfg.use_cache { "on" } else { "off" }
+    );
     for ((vantage, series), run) in exp.prefix_series().into_iter().zip(&exp.runs) {
         let m = &run.metrics;
         println!(

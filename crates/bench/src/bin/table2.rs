@@ -2,18 +2,30 @@
 //! distribution.
 //!
 //! ```text
-//! cargo run --release -p bench-suite --bin table2 [seed]
+//! cargo run --release -p bench-suite --bin table2 [seed] [--jobs N] [--no-cache]
 //! ```
+//!
+//! `--jobs N` fans the targets over N worker threads and `--no-cache`
+//! disables the cross-session subnet cache; the conformance suite pins
+//! the collected distribution equal either way.
 
-use bench_suite::{paper, table2, SEED};
+use bench_suite::{accuracy_experiment_with, batch_args, paper};
 use obs::Phase;
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(SEED);
-    let r = table2(seed);
+    let (seed, cfg) = batch_args();
+    let r = accuracy_experiment_with(topogen::geant(seed), &cfg);
     println!("== Table 2: GEANT, original and collected subnet distribution ==");
     println!(
-        "seed: {seed}, probes: {} (trace {} / position {} / explore {}); \
+        "seed: {seed}, jobs: {}, cache: {} ({} hits, {} skips, {} misses)",
+        cfg.jobs,
+        if cfg.use_cache { "on" } else { "off" },
+        r.cache.hits,
+        r.cache.skips,
+        r.cache.misses
+    );
+    println!(
+        "probes: {} (trace {} / position {} / explore {}); \
          §4.1.1 audit agrees with ground truth on {}/{} subnets",
         r.probes,
         r.metrics.sent_in(Phase::Trace),

@@ -7,11 +7,12 @@ use std::sync::Arc;
 use evalkit::accounting::{ip_accounting, prefix_length_series, subnet_count, IpAccounting};
 use evalkit::classify::{classify, SubnetTable};
 use evalkit::crossval::VennPartition;
-use evalkit::run::{run_tracenet, run_tracenet_with, CollectedSet};
+use evalkit::run::{run_tracenet, run_tracenet_batch, run_tracenet_with, CollectedSet};
 use evalkit::similarity::{prefix_similarity, size_similarity, PrefixBounds};
 use inet::Prefix;
 use netsim::Network;
-use probe::Protocol;
+use probe::{Protocol, SharedNetwork};
+use sweep::{BatchConfig, CacheStats};
 use topogen::{geant, internet2, isp_internet, GtSubnet, Scenario, ISP_NAMES};
 use tracenet::TracenetOptions;
 
@@ -36,6 +37,38 @@ pub struct AccuracyResult {
     /// §4.1.1 audit cross-check: (agreements with generator intent,
     /// subnets audited).
     pub audit_agreement: (usize, usize),
+    /// Cross-session subnet-cache counters (all zero on the sequential
+    /// no-cache path).
+    pub cache: CacheStats,
+}
+
+/// Seed / `--jobs N` / `--no-cache` argument parsing shared by the
+/// reproduction binaries: a bare number is the seed, defaults are one
+/// worker with the cache on.
+pub fn batch_args() -> (u64, BatchConfig) {
+    let mut seed = SEED;
+    let mut cfg = BatchConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = args.next().and_then(|v| v.parse().ok());
+                cfg.jobs = v.unwrap_or_else(|| {
+                    eprintln!("--jobs needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--no-cache" => cfg.use_cache = false,
+            other => match other.parse() {
+                Ok(s) => seed = s,
+                Err(_) => {
+                    eprintln!("usage: [seed] [--jobs N] [--no-cache]");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    (seed, cfg)
 }
 
 /// Runs the Table 1 (Internet2) or Table 2 (GEANT) experiment, including
@@ -75,6 +108,46 @@ pub fn accuracy_experiment(scenario: Scenario) -> AccuracyResult {
         probes: collected.probes,
         metrics: registry.snapshot(),
         audit_agreement,
+        cache: CacheStats::default(),
+    }
+}
+
+/// [`accuracy_experiment`] on the batch engine: targets fanned over
+/// `cfg.jobs` workers sharing the cross-session subnet cache. The
+/// conformance suite guarantees the collected set (and therefore the
+/// table) matches the sequential run; only the probe budget shrinks.
+pub fn accuracy_experiment_with(scenario: Scenario, cfg: &BatchConfig) -> AccuracyResult {
+    let network = scenario.name.clone();
+    let vantage = scenario.vantages[0].1;
+    let gt: Vec<&GtSubnet> = scenario.ground_truth.of_network(&network).collect();
+
+    let shared = SharedNetwork::new(Network::new(scenario.topology.clone()));
+    let registry = Arc::new(obs::Registry::new());
+    let (collected, cache) = run_tracenet_batch(
+        &shared,
+        vantage,
+        &scenario.targets,
+        cfg,
+        &obs::Recorder::new().with_metrics(Arc::clone(&registry)),
+    );
+    let mut classifications = classify(&gt, &collected.records());
+
+    let audit_agreement = shared.with(|net| {
+        let mut auditor = probe::SimProber::new(net, vantage);
+        let log = evalkit::audit::audit_classifications(&mut auditor, &mut classifications);
+        evalkit::audit::audit_agreement(&log, &gt)
+    });
+
+    let bounds = PrefixBounds::from_classifications(&classifications);
+    AccuracyResult {
+        network,
+        table: SubnetTable::build(&classifications),
+        prefix_similarity: prefix_similarity(&classifications, bounds),
+        size_similarity: size_similarity(&classifications, bounds),
+        probes: collected.probes,
+        metrics: registry.snapshot(),
+        audit_agreement,
+        cache,
     }
 }
 
@@ -108,6 +181,10 @@ pub struct VantageRun {
     pub collected: CollectedSet,
     /// Per-phase probe accounting for this vantage's collection.
     pub metrics: obs::MetricsSnapshot,
+    /// Cross-session subnet-cache counters (zero on the sequential
+    /// no-cache path; each vantage keeps its own cache, so Figure 6's
+    /// cross-validation stays honest).
+    pub cache: CacheStats,
 }
 
 /// The §4.2 cross-validation experiment: all three vantages trace the
@@ -138,7 +215,35 @@ pub fn isp_experiment(seed: u64) -> IspExperiment {
             &TracenetOptions::default(),
             &obs::Recorder::new().with_metrics(Arc::clone(&registry)),
         );
-        runs.push(VantageRun { vantage: name, collected, metrics: registry.snapshot() });
+        runs.push(VantageRun {
+            vantage: name,
+            collected,
+            metrics: registry.snapshot(),
+            cache: CacheStats::default(),
+        });
+    }
+    IspExperiment { scenario, runs }
+}
+
+/// [`isp_experiment`] on the batch engine: each vantage's target list is
+/// fanned over `cfg.jobs` workers against the shared fluctuating
+/// internet, with a per-vantage subnet cache.
+pub fn isp_experiment_with(seed: u64, cfg: &BatchConfig) -> IspExperiment {
+    let scenario = isp_internet(seed);
+    let shared = SharedNetwork::new(
+        Network::new(scenario.topology.clone()).with_fluctuation(ISP_FLUCTUATION_PERIOD),
+    );
+    let mut runs = Vec::new();
+    for (name, addr) in scenario.vantages.clone() {
+        let registry = Arc::new(obs::Registry::new());
+        let (collected, cache) = run_tracenet_batch(
+            &shared,
+            addr,
+            &scenario.targets,
+            cfg,
+            &obs::Recorder::new().with_metrics(Arc::clone(&registry)),
+        );
+        runs.push(VantageRun { vantage: name, collected, metrics: registry.snapshot(), cache });
     }
     IspExperiment { scenario, runs }
 }

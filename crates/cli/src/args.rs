@@ -17,7 +17,7 @@ impl Opts {
     /// `-vv` are the only single-dash tokens accepted.
     pub fn parse(argv: &[String]) -> Result<Opts, String> {
         /// Flags that never take a value.
-        const BOOLEAN: [&str; 5] = ["json", "all", "paris", "v", "vv"];
+        const BOOLEAN: [&str; 6] = ["json", "all", "paris", "v", "vv", "no-cache"];
         let mut out = Opts::default();
         let mut it = argv.iter().peekable();
         while let Some(tok) = it.next() {

@@ -257,6 +257,77 @@ pub fn sweep(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
+/// `tracenet batch <scenario> [--targets A,B,..] [--jobs N] [--no-cache]`
+/// — trace many targets on a worker pool over one shared network, with
+/// a cross-session subnet cache unless `--no-cache` is given.
+pub fn batch(opts: &Opts) -> Result<String, String> {
+    let scenario = load(opts)?;
+    let v = vantage(&scenario, opts)?;
+    let proto = protocol(opts)?;
+    let (recorder, metrics) = recorder_from(opts)?;
+    let targets: Vec<Addr> = match opts.flag("targets") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("invalid target address {s:?}")))
+            .collect::<Result<_, _>>()?,
+        None => scenario.targets.clone(),
+    };
+    let cfg = sweep::BatchConfig {
+        jobs: opts.flag_parse("jobs", 4usize)?,
+        use_cache: !opts.has("no-cache"),
+        protocol: proto,
+        opts: TracenetOptions::default(),
+    };
+    let shared = probe::SharedNetwork::new(Network::new(scenario.topology.clone()));
+    let (collected, cache) =
+        evalkit::run::run_tracenet_batch(&shared, v, &targets, &cfg, &recorder);
+    recorder.flush().map_err(|e| format!("--trace-log: {e}"))?;
+    if let Some((registry, path)) = &metrics {
+        let snap = registry.snapshot();
+        let json =
+            serde_json::to_string_pretty(&snap.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+    }
+    if opts.has("json") {
+        let records = collected.records();
+        return Ok(serde_json::json!({
+            "subnets": records.iter().map(|r| serde_json::json!({
+                "prefix": r.prefix().to_string(),
+                "members": r.members().iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+            })).collect::<Vec<_>>(),
+            "addresses": collected.addresses().len(),
+            "probes": collected.probes,
+            "sessions": collected.sessions,
+            "cache": serde_json::json!({
+                "hits": cache.hits,
+                "skips": cache.skips,
+                "misses": cache.misses,
+            }),
+        })
+        .to_string());
+    }
+    let mut out = format!(
+        "collected {} subnets, {} addresses, {} probes over {} sessions ({} jobs)\n",
+        collected.prefixes().len(),
+        collected.addresses().len(),
+        collected.probes,
+        collected.sessions,
+        cfg.jobs.clamp(1, targets.len().max(1)),
+    );
+    if cfg.use_cache {
+        out.push_str(&format!(
+            "subnet cache: {} hits, {} skips, {} misses\n",
+            cache.hits, cache.skips, cache.misses
+        ));
+    } else {
+        out.push_str("subnet cache: disabled\n");
+    }
+    if let Some((registry, _)) = metrics {
+        out.push_str(&registry.snapshot().render_table());
+    }
+    Ok(out)
+}
+
 /// `tracenet map <scenario> [--vantage NAME] [--protocol ...]` — trace
 /// every scenario target and emit the assembled subnet-level topology
 /// map as Graphviz DOT.

@@ -48,6 +48,13 @@ COMMANDS:
     ping <scenario> --target ADDR [--vantage NAME] [--count N]
     sweep <scenario> --prefix P [--vantage NAME]
                               ping every address of a prefix (§4.1.1 audit)
+    batch <scenario> [--targets A,B,..] [--jobs N] [--no-cache]
+                              [--vantage NAME] [--protocol icmp|udp|tcp] [--json]
+                              [--trace-log FILE] [--metrics FILE]
+                              trace many targets on a worker pool sharing a
+                              cross-session subnet cache; --jobs sets the
+                              thread count (default 4), --no-cache disables
+                              subnet reuse across sessions
     eval <scenario> [--protocol icmp|udp|tcp]
                               collect everything and score against ground truth
     map <scenario> [--vantage NAME] [--protocol icmp|udp|tcp]
@@ -71,6 +78,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "traceroute" => commands::traceroute_cmd(&opts),
         "ping" => commands::ping_cmd(&opts),
         "sweep" => commands::sweep(&opts),
+        "batch" => commands::batch(&opts),
         "eval" => commands::eval(&opts),
         "map" => commands::map(&opts),
         "crossval" => commands::crossval(&opts),

@@ -110,6 +110,75 @@ fn traceroute_ping_and_sweep_work() {
 }
 
 #[test]
+fn help_documents_batch_flags() {
+    let help = run(&["help"]).unwrap();
+    assert!(help.contains("batch <scenario>"), "{help}");
+    assert!(help.contains("--jobs"), "{help}");
+    assert!(help.contains("--no-cache"), "{help}");
+}
+
+#[test]
+fn batch_collects_with_cache_and_workers() {
+    let path = scenario_file("batch");
+    let p = path.to_str().unwrap();
+    let out = run(&["batch", p, "--jobs", "4"]).unwrap();
+    assert!(out.contains("collected"), "{out}");
+    assert!(out.contains("(4 jobs)"), "{out}");
+    assert!(out.contains("subnet cache:"), "{out}");
+    assert!(out.contains("hits"), "{out}");
+
+    let off = run(&["batch", p, "--jobs", "1", "--no-cache"]).unwrap();
+    assert!(off.contains("subnet cache: disabled"), "{off}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn batch_json_matches_eval_subnets() {
+    let path = scenario_file("batch-json");
+    let p = path.to_str().unwrap();
+    let json = run(&["batch", p, "--jobs", "8", "--json"]).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    let cached_subnets = v["subnets"].as_array().unwrap().len();
+    assert!(cached_subnets > 0);
+    assert!(v["cache"]["hits"].as_u64().is_some());
+
+    // The cached parallel run reports the same subnet count as the
+    // sequential no-cache run (the conformance property, end to end).
+    let plain = run(&["batch", p, "--jobs", "1", "--no-cache", "--json"]).unwrap();
+    let w: serde_json::Value = serde_json::from_str(&plain).expect("valid JSON");
+    assert_eq!(w["subnets"].as_array().unwrap().len(), cached_subnets);
+    assert!(w["probes"].as_u64().unwrap() >= v["probes"].as_u64().unwrap());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn batch_explicit_targets_and_metrics() {
+    let path = scenario_file("batch-targets");
+    let p = path.to_str().unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    let scenario = topogen::io::from_json(&json).unwrap();
+    let pair = format!("{},{}", scenario.targets[0], scenario.targets[0]);
+
+    let mut metrics_path = std::env::temp_dir();
+    metrics_path.push(format!("tracenet-batch-metrics-{}.json", std::process::id()));
+    let m = metrics_path.to_str().unwrap();
+    let out = run(&["batch", p, "--targets", &pair, "--jobs", "1", "--metrics", m]).unwrap();
+    assert!(out.contains("over 2 sessions"), "{out}");
+    // Tracing the same target twice must hit the cache, and the cache
+    // counters must surface through the obs metrics registry too.
+    assert!(out.contains("subnet cache:"), "{out}");
+    assert!(!out.contains(" 0 hits"), "{out}");
+    let metrics: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+    assert!(metrics["cache"]["hit"].as_u64().unwrap() > 0, "{metrics}");
+
+    let err = run(&["batch", p, "--targets", "not-an-addr"]).unwrap_err();
+    assert!(err.contains("invalid target address"), "{err}");
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(metrics_path).ok();
+}
+
+#[test]
 fn eval_scores_against_ground_truth() {
     let path = scenario_file("eval");
     let out = run(&["eval", path.to_str().unwrap()]).unwrap();

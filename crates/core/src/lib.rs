@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod explore;
 pub mod heuristics;
 mod observed;
@@ -58,6 +59,7 @@ pub mod position;
 mod report;
 mod session;
 
+pub use cache::{CacheLookup, SubnetStore};
 pub use observed::{AddressRole, ObservedSubnet, StopCause};
 pub use options::{HeuristicSet, TracenetOptions};
 pub use position::Positioning;

@@ -40,6 +40,9 @@ pub struct HopRecord {
     /// The hop address already belonged to a subnet collected at an
     /// earlier hop, so exploration was skipped.
     pub repeated: bool,
+    /// The hop was resolved from a cross-session subnet store instead of
+    /// being positioned and explored (see `tracenet::cache`).
+    pub cached: bool,
     /// The subnet collected at this hop, if any.
     pub subnet: Option<ObservedSubnet>,
     /// Probe accounting for this hop.
@@ -130,7 +133,11 @@ impl fmt::Display for TraceReport {
             match (&hop.subnet, hop.repeated) {
                 (Some(s), _) => write!(f, " {s}")?,
                 (None, true) => write!(f, " (subnet already collected)")?,
+                (None, false) if hop.cached => write!(f, " (no subnet, cached)")?,
                 (None, false) => write!(f, " (no subnet)")?,
+            }
+            if hop.cached && hop.subnet.is_some() {
+                write!(f, " [cached]")?;
             }
             if hop.reached_destination {
                 write!(f, "  <- destination")?;
@@ -194,6 +201,7 @@ mod tests {
                     addr: Some(a("10.0.1.1")),
                     reached_destination: false,
                     repeated: false,
+                    cached: false,
                     subnet: Some(sample_subnet(
                         "10.0.1.0/31",
                         &["10.0.1.0", "10.0.1.1"],
@@ -206,6 +214,7 @@ mod tests {
                     addr: None,
                     reached_destination: false,
                     repeated: false,
+                    cached: false,
                     subnet: None,
                     cost: PhaseCost { trace: 2, position: 0, explore: 0 },
                 },
@@ -214,6 +223,7 @@ mod tests {
                     addr: Some(a("10.0.9.9")),
                     reached_destination: true,
                     repeated: false,
+                    cached: false,
                     subnet: Some(sample_subnet("10.0.9.8/31", &["10.0.9.9"], "10.0.9.9")),
                     cost: PhaseCost { trace: 1, position: 2, explore: 2 },
                 },

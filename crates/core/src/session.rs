@@ -8,10 +8,13 @@
 //! IP addresses that are hosted on the same subnet which accommodates
 //! interface l before moving to the next hop." (§3.3)
 
+use std::sync::Arc;
+
 use inet::Addr;
-use obs::{Cause, Level, Phase, Recorder};
+use obs::{CacheOutcome, Cause, Level, Phase, Recorder};
 use probe::{CachingProber, ProbeOutcome, Prober};
 
+use crate::cache::{CacheLookup, SubnetStore};
 use crate::explore::explore;
 use crate::options::TracenetOptions;
 use crate::position::position;
@@ -22,6 +25,7 @@ pub struct Session<P: Prober> {
     prober: CachingProber<P>,
     opts: TracenetOptions,
     recorder: Recorder,
+    store: Option<Arc<dyn SubnetStore>>,
 }
 
 impl<P: Prober> Session<P> {
@@ -29,7 +33,12 @@ impl<P: Prober> Session<P> {
     /// cache (§3.5's merged-rule optimization); the cache is cleared at
     /// every hop so stale answers never cross path-dynamics boundaries.
     pub fn new(prober: P, opts: TracenetOptions) -> Session<P> {
-        Session { prober: CachingProber::new(prober), opts, recorder: Recorder::disabled() }
+        Session {
+            prober: CachingProber::new(prober),
+            opts,
+            recorder: Recorder::disabled(),
+            store: None,
+        }
     }
 
     /// Attaches a session-level recorder. This does *not* make the
@@ -37,6 +46,15 @@ impl<P: Prober> Session<P> {
     /// feeds session-derived metrics, e.g. the probes-per-hop histogram.
     pub fn with_recorder(mut self, recorder: Recorder) -> Session<P> {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a cross-session subnet store (see [`crate::cache`]). The
+    /// session consults it before positioning a hop and admits whatever
+    /// the hop produced, so a batch of sessions sharing one store never
+    /// re-explores an already-resolved hop.
+    pub fn with_subnet_store(mut self, store: Arc<dyn SubnetStore>) -> Session<P> {
+        self.store = Some(store);
         self
     }
 
@@ -76,6 +94,7 @@ impl<P: Prober> Session<P> {
                 addr,
                 reached_destination: reached,
                 repeated: false,
+                cached: false,
                 subnet: None,
                 cost: PhaseCost { trace: trace_cost, position: 0, explore: 0 },
             };
@@ -85,10 +104,28 @@ impl<P: Prober> Session<P> {
                     && hops.iter().any(|h: &HopRecord| {
                         h.subnet.as_ref().is_some_and(|s| s.record.contains(v))
                     });
+                let lookup = if known {
+                    None
+                } else {
+                    self.store.as_ref().map(|c| c.lookup(prev_addr, v, d))
+                };
                 if known {
                     record.repeated = true;
                     obs::trace_event!(Level::Debug, "hop {d}: {v} already subnetized, skipping");
+                } else if let Some(CacheLookup::Hit(outcome)) = lookup {
+                    record.cached = true;
+                    let reusable = outcome.is_some();
+                    record.subnet = outcome;
+                    self.recorder.record_cache(if reusable {
+                        CacheOutcome::Hit
+                    } else {
+                        CacheOutcome::Skip
+                    });
+                    obs::trace_event!(Level::Debug, "hop {d}: {v} resolved from the subnet cache");
                 } else {
+                    if lookup.is_some() {
+                        self.recorder.record_cache(CacheOutcome::Miss);
+                    }
                     let before = self.prober.stats().sent;
                     let positioning = {
                         let _phase = obs::phase_scope(Phase::Position);
@@ -113,6 +150,9 @@ impl<P: Prober> Session<P> {
                             );
                             record.subnet = Some(subnet);
                         }
+                    }
+                    if let Some(store) = &self.store {
+                        store.admit(prev_addr, v, d, record.subnet.as_ref());
                     }
                 }
             }
@@ -244,6 +284,141 @@ mod tests {
         let mut dedup = prefixes.clone();
         dedup.dedup();
         assert_eq!(prefixes, dedup, "no duplicate subnets in one session");
+    }
+
+    #[test]
+    fn reuse_skip_fires_exactly_once_and_keeps_both_hops() {
+        // A multi-hop scenario where hop k's subnet contains hop k+1's
+        // ingress: r2 reports its *egress* interface (10.0.2.0) in
+        // TTL-exceeded errors, so hop 2 explores 10.0.2.0/31 and collects
+        // both sides of the r2–r3 link. Hop 3 then traces as r3's
+        // ingress 10.0.2.1 — already a member of hop 2's subnet — and the
+        // `reuse_known_subnets` skip must fire exactly once while the
+        // report still lists both hops.
+        use inet::Prefix;
+        use netsim::{ResponsePolicy, RouterConfig, TopologyBuilder};
+        let mut b = TopologyBuilder::new();
+        let v = b.host("vantage");
+        let r1 = b.router("r1", RouterConfig::cooperative());
+        let mut egress_cfg = RouterConfig::cooperative();
+        egress_cfg.indirect = ResponsePolicy::Default("10.0.2.0".parse().unwrap());
+        let r2 = b.router("r2", egress_cfg);
+        let r3 = b.router("r3", RouterConfig::cooperative());
+        let d = b.host("dest");
+        let mk = |b: &mut TopologyBuilder, x, y, base: &str| {
+            let s = b.subnet(base.parse::<Prefix>().unwrap());
+            let lo: Addr = base.split('/').next().unwrap().parse().unwrap();
+            b.attach(x, s, lo).unwrap();
+            b.attach(y, s, lo.mate31()).unwrap();
+            lo
+        };
+        let v_addr = mk(&mut b, v, r1, "10.0.0.0/31");
+        mk(&mut b, r1, r2, "10.0.1.0/31");
+        mk(&mut b, r2, r3, "10.0.2.0/31");
+        let d_side = mk(&mut b, r3, d, "10.0.3.0/31");
+        let mut net = Network::new(b.build().unwrap());
+        let mut prober = SimProber::new(&mut net, v_addr);
+        let report = Session::new(&mut prober, TracenetOptions::default()).run(d_side.mate31());
+
+        assert!(report.destination_reached);
+        assert_eq!(report.hops.len(), 4, "both the skipped hop and its successors are listed");
+        let ingress: Addr = "10.0.2.1".parse().unwrap();
+        assert_eq!(report.hops[1].addr, Some("10.0.2.0".parse().unwrap()));
+        let s2 = report.hops[1].subnet.as_ref().expect("hop 2 explored the r2-r3 link");
+        assert!(s2.record.contains(ingress), "hop 2's subnet contains hop 3's ingress");
+        assert_eq!(report.hops[2].addr, Some(ingress));
+        assert!(report.hops[2].repeated, "hop 3 reuses hop 2's subnet");
+        assert!(report.hops[2].subnet.is_none(), "a reused hop is not re-explored");
+        assert_eq!(report.hops[2].cost.position + report.hops[2].cost.explore, 0);
+        let repeats = report.hops.iter().filter(|h| h.repeated).count();
+        assert_eq!(repeats, 1, "the skip fires exactly once");
+    }
+
+    #[test]
+    fn subnet_store_replays_resolved_hops_without_probing() {
+        use crate::cache::{CacheLookup, SubnetStore};
+        use crate::observed::ObservedSubnet;
+        use std::collections::BTreeMap;
+        use std::sync::Mutex;
+
+        type HopKey = (Option<Addr>, Addr, u8);
+
+        /// A minimal exact-key store: enough to prove the session seam.
+        #[derive(Default)]
+        struct MapStore {
+            map: Mutex<BTreeMap<HopKey, Option<ObservedSubnet>>>,
+        }
+        impl SubnetStore for MapStore {
+            fn lookup(&self, prev: Option<Addr>, v: Addr, d: u8) -> CacheLookup {
+                match self.map.lock().unwrap().get(&(prev, v, d)) {
+                    Some(outcome) => CacheLookup::Hit(outcome.clone()),
+                    None => CacheLookup::Miss,
+                }
+            }
+            fn admit(&self, prev: Option<Addr>, v: Addr, d: u8, outcome: Option<&ObservedSubnet>) {
+                self.map.lock().unwrap().insert((prev, v, d), outcome.cloned());
+            }
+        }
+
+        let (topo, names) = samples::chain(3);
+        let mut net = Network::new(topo);
+        let store = Arc::new(MapStore::default());
+        let run = |net: &mut Network, store: Arc<MapStore>| {
+            let mut prober = SimProber::new(net, names.addr("vantage"));
+            Session::new(&mut prober, TracenetOptions::default())
+                .with_subnet_store(store)
+                .run(names.addr("dest"))
+        };
+        let first = run(&mut net, Arc::clone(&store));
+        let second = run(&mut net, Arc::clone(&store));
+
+        assert!(first.hops.iter().all(|h| !h.cached), "a cold store resolves nothing");
+        assert!(second.hops.iter().all(|h| h.cached), "a warm store resolves every hop");
+        let prefixes = |r: &TraceReport| -> Vec<String> {
+            r.subnets().map(|s| s.record.prefix().to_string()).collect()
+        };
+        assert_eq!(prefixes(&first), prefixes(&second), "replay is observation-equivalent");
+        assert_eq!(first.all_addresses(), second.all_addresses());
+        assert!(
+            second.total_probes < first.total_probes,
+            "replayed hops spend trace probes only ({} vs {})",
+            second.total_probes,
+            first.total_probes
+        );
+    }
+
+    #[test]
+    fn disabling_reuse_reexplores_the_contained_hop() {
+        // Same scene as above with `reuse_known_subnets` off: hop 3 must
+        // be explored (and re-collect the same link) instead of skipped.
+        use inet::Prefix;
+        use netsim::{ResponsePolicy, RouterConfig, TopologyBuilder};
+        let mut b = TopologyBuilder::new();
+        let v = b.host("vantage");
+        let r1 = b.router("r1", RouterConfig::cooperative());
+        let mut egress_cfg = RouterConfig::cooperative();
+        egress_cfg.indirect = ResponsePolicy::Default("10.0.2.0".parse().unwrap());
+        let r2 = b.router("r2", egress_cfg);
+        let r3 = b.router("r3", RouterConfig::cooperative());
+        let d = b.host("dest");
+        let mk = |b: &mut TopologyBuilder, x, y, base: &str| {
+            let s = b.subnet(base.parse::<Prefix>().unwrap());
+            let lo: Addr = base.split('/').next().unwrap().parse().unwrap();
+            b.attach(x, s, lo).unwrap();
+            b.attach(y, s, lo.mate31()).unwrap();
+            lo
+        };
+        let v_addr = mk(&mut b, v, r1, "10.0.0.0/31");
+        mk(&mut b, r1, r2, "10.0.1.0/31");
+        mk(&mut b, r2, r3, "10.0.2.0/31");
+        let d_side = mk(&mut b, r3, d, "10.0.3.0/31");
+        let mut net = Network::new(b.build().unwrap());
+        let mut prober = SimProber::new(&mut net, v_addr);
+        let opts = TracenetOptions { reuse_known_subnets: false, ..TracenetOptions::default() };
+        let report = Session::new(&mut prober, opts).run(d_side.mate31());
+        assert!(report.destination_reached);
+        assert!(report.hops.iter().all(|h| !h.repeated));
+        assert!(report.hops[2].subnet.is_some(), "without reuse, hop 3 is explored");
     }
 
     #[test]

@@ -200,6 +200,7 @@ mod tests {
             addr: sn.as_ref().map(|s| s.pivot),
             reached_destination: false,
             repeated: false,
+            cached: false,
             subnet: sn,
             cost: PhaseCost::default(),
         };

@@ -5,8 +5,9 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use inet::{Addr, Prefix, SubnetRecord};
 use netsim::Network;
-use probe::{Prober, Protocol, SimProber};
-use tracenet::{Session, TraceReport, TracenetOptions};
+use probe::{Prober, Protocol, SharedNetwork, SimProber};
+use sweep::{BatchConfig, BatchResult, CacheStats};
+use tracenet::{TraceReport, TracenetOptions};
 use traceroute::{TracerouteOptions, TracerouteReport};
 
 /// Everything one vantage point collected over a target list.
@@ -45,6 +46,16 @@ impl CollectedSet {
         for a in report.unsubnetized_addresses() {
             self.unsubnetized.insert(a);
         }
+    }
+
+    /// Folds a whole batch result in (reports in target order).
+    pub fn from_batch(batch: &BatchResult) -> CollectedSet {
+        let mut out = CollectedSet::default();
+        for report in &batch.reports {
+            out.add_report(report);
+        }
+        out.probes = batch.probes;
+        out
     }
 
     /// The collected subnet prefixes.
@@ -127,16 +138,23 @@ pub fn run_tracenet_with(
     opts: &TracenetOptions,
     recorder: &obs::Recorder,
 ) -> CollectedSet {
-    let mut out = CollectedSet::default();
-    for (k, &target) in targets.iter().enumerate() {
-        let mut prober = SimProber::with_protocol(net, vantage, protocol)
-            .ident(k as u16 ^ 0x7ace)
-            .recorder(recorder.clone());
-        let report = Session::new(&mut prober, *opts).with_recorder(recorder.clone()).run(target);
-        out.probes += prober.stats().sent;
-        out.add_report(&report);
-    }
-    out
+    let cfg = BatchConfig { jobs: 1, use_cache: false, protocol, opts: *opts };
+    CollectedSet::from_batch(&sweep::run_batch_seq(net, vantage, targets, &cfg, recorder))
+}
+
+/// Batch collection over a shared network: the worker-pool engine with
+/// the cross-session subnet cache, folded into a [`CollectedSet`]. The
+/// conformance suite pins this equal to [`run_tracenet`] on the subnet
+/// level; only probe counts may differ (cached ≤ uncached).
+pub fn run_tracenet_batch(
+    net: &SharedNetwork,
+    vantage: Addr,
+    targets: &[Addr],
+    cfg: &BatchConfig,
+    recorder: &obs::Recorder,
+) -> (CollectedSet, CacheStats) {
+    let batch = sweep::run_batch(net, vantage, targets, cfg, recorder);
+    (CollectedSet::from_batch(&batch), batch.cache)
 }
 
 /// Runs one traceroute per target (the baseline's view of the same
@@ -151,8 +169,9 @@ pub fn run_traceroute(
     let mut reports = Vec::with_capacity(targets.len());
     let mut addrs = BTreeSet::new();
     let mut probes = 0;
+    let idents = sweep::traceroute_idents(targets.len());
     for (k, &target) in targets.iter().enumerate() {
-        let mut prober = SimProber::with_protocol(net, vantage, protocol).ident(k as u16 ^ 0x1dea);
+        let mut prober = SimProber::with_protocol(net, vantage, protocol).ident(idents.get(k));
         let report = traceroute::traceroute(&mut prober, target, *opts);
         probes += prober.stats().sent;
         addrs.extend(report.all_addresses());

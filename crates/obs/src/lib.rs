@@ -39,7 +39,7 @@ pub mod trace;
 
 pub use ctx::{cause_scope, phase_scope};
 pub use event::{Cause, Outcome, Phase, ProbeEvent};
-pub use metrics::{MetricsSnapshot, Registry};
+pub use metrics::{CacheOutcome, MetricsSnapshot, Registry};
 pub use recorder::Recorder;
 pub use sink::{EventSink, JsonlSink, NullSink, SinkHandle, VecSink};
 pub use trace::Level;

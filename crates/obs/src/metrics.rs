@@ -37,6 +37,41 @@ fn hop_cost_bucket(cost: u64) -> usize {
     HOP_COST_BUCKETS.iter().position(|&hi| cost < hi).unwrap_or(HOP_COST_BUCKETS.len())
 }
 
+/// What a cross-session subnet-cache lookup resolved to. Fed into the
+/// registry by the session driver so saved probes are attributable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The cache supplied an already-accepted subnet for the hop.
+    Hit,
+    /// The cache knew the hop was explored before and yielded no subnet,
+    /// so positioning/exploration were skipped without a reusable subnet.
+    Skip,
+    /// The hop was not in the cache; it was positioned and explored.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// All outcomes, in slot order.
+    pub const ALL: [CacheOutcome; 3] = [CacheOutcome::Hit, CacheOutcome::Skip, CacheOutcome::Miss];
+
+    fn index(self) -> usize {
+        match self {
+            CacheOutcome::Hit => 0,
+            CacheOutcome::Skip => 1,
+            CacheOutcome::Miss => 2,
+        }
+    }
+
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Skip => "skip",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
 fn phase_slot(phase: Option<Phase>) -> usize {
     phase.map(Phase::index).unwrap_or(UNATTRIBUTED)
 }
@@ -63,6 +98,8 @@ pub struct Registry {
     /// Probes-per-hop distribution, fed by the session after trace
     /// collection.
     hop_cost_hist: [AtomicU64; HOP_COST_BUCKETS.len() + 1],
+    /// Cross-session subnet-cache lookups by outcome (hit/skip/miss).
+    cache: [AtomicU64; CacheOutcome::ALL.len()],
 }
 
 impl Registry {
@@ -90,6 +127,16 @@ impl Registry {
     /// hop discovered during trace collection).
     pub fn record_hop_cost(&self, probes: u64) {
         self.hop_cost_hist[hop_cost_bucket(probes)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cross-session subnet-cache lookup.
+    pub fn record_cache(&self, outcome: CacheOutcome) {
+        self.cache[outcome.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cache lookups that resolved to `outcome` so far.
+    pub fn cache_count(&self, outcome: CacheOutcome) -> u64 {
+        self.cache[outcome.index()].load(Ordering::Relaxed)
     }
 
     /// Wire sends attributed to `phase` so far.
@@ -122,6 +169,7 @@ impl Registry {
             by_cause: std::array::from_fn(|i| load(&self.by_cause[i])),
             ttl_hist: std::array::from_fn(|i| load(&self.ttl_hist[i])),
             hop_cost_hist: std::array::from_fn(|i| load(&self.hop_cost_hist[i])),
+            cache: std::array::from_fn(|i| load(&self.cache[i])),
         }
     }
 }
@@ -136,9 +184,19 @@ pub struct MetricsSnapshot {
     by_cause: [u64; CAUSES],
     ttl_hist: [u64; TTL_BUCKETS.len()],
     hop_cost_hist: [u64; HOP_COST_BUCKETS.len() + 1],
+    cache: [u64; CacheOutcome::ALL.len()],
 }
 
 impl MetricsSnapshot {
+    /// Cache lookups that resolved to `outcome`.
+    pub fn cache_count(&self, outcome: CacheOutcome) -> u64 {
+        self.cache[outcome.index()]
+    }
+
+    /// Total cross-session cache lookups.
+    pub fn cache_lookups(&self) -> u64 {
+        self.cache.iter().sum()
+    }
     /// Wire sends attributed to `phase`.
     pub fn sent_in(&self, phase: Phase) -> u64 {
         self.sent[phase.index()]
@@ -207,6 +265,16 @@ impl MetricsSnapshot {
                 let _ = writeln!(out, "{:<18} {:>8}", cause.label(), n);
             }
         }
+        if self.cache_lookups() > 0 {
+            let _ = writeln!(
+                out,
+                "\nsubnet cache: {} hits, {} skips, {} misses ({} lookups)",
+                self.cache_count(CacheOutcome::Hit),
+                self.cache_count(CacheOutcome::Skip),
+                self.cache_count(CacheOutcome::Miss),
+                self.cache_lookups(),
+            );
+        }
         out
     }
 
@@ -259,12 +327,19 @@ impl MetricsSnapshot {
                 .map(|(le, &count)| json!({ "le": le, "count": count }))
                 .collect(),
         );
+        let cache = Value::Object(
+            CacheOutcome::ALL
+                .into_iter()
+                .map(|o| (o.label().to_string(), json!(self.cache_count(o))))
+                .collect(),
+        );
         json!({
             "total_sent": self.sent_total(),
             "phases": Value::Object(phases),
             "causes": causes,
             "ttl_histogram": ttl_hist,
             "hop_cost_histogram": hop_hist,
+            "cache": cache,
         })
     }
 }
@@ -336,6 +411,34 @@ mod tests {
         assert_eq!(v["causes"]["distance_search"], 1u64);
         assert!(v["causes"]["h2"].is_null(), "zero causes omitted");
         assert_eq!(v["hop_cost_histogram"][1]["count"], 1u64);
+    }
+
+    #[test]
+    fn cache_counters_accumulate_and_render() {
+        let reg = Registry::new();
+        reg.record_cache(CacheOutcome::Miss);
+        reg.record_cache(CacheOutcome::Hit);
+        reg.record_cache(CacheOutcome::Hit);
+        reg.record_cache(CacheOutcome::Skip);
+        assert_eq!(reg.cache_count(CacheOutcome::Hit), 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.cache_count(CacheOutcome::Hit), 2);
+        assert_eq!(snap.cache_count(CacheOutcome::Skip), 1);
+        assert_eq!(snap.cache_count(CacheOutcome::Miss), 1);
+        assert_eq!(snap.cache_lookups(), 4);
+        let table = snap.render_table();
+        assert!(table.contains("subnet cache: 2 hits, 1 skips, 1 misses (4 lookups)"), "{table}");
+        let v = snap.to_json();
+        assert_eq!(v["cache"]["hit"], 2u64);
+        assert_eq!(v["cache"]["miss"], 1u64);
+    }
+
+    #[test]
+    fn cache_line_hidden_when_no_lookups() {
+        let reg = Registry::new();
+        reg.record(&ev(Some(Phase::Trace), None, 3, 0));
+        let table = reg.snapshot().render_table();
+        assert!(!table.contains("subnet cache"), "{table}");
     }
 
     #[test]

@@ -84,6 +84,14 @@ impl Recorder {
         }
     }
 
+    /// Records one cross-session subnet-cache lookup, if metrics are
+    /// attached.
+    pub fn record_cache(&self, outcome: crate::metrics::CacheOutcome) {
+        if let Some(metrics) = &self.metrics {
+            metrics.record_cache(outcome);
+        }
+    }
+
     /// Flushes the sink, if any.
     pub fn flush(&self) -> std::io::Result<()> {
         self.sink.flush()

@@ -1,0 +1,329 @@
+//! The cross-session subnet cache.
+//!
+//! Consecutive sessions from one vantage share long path prefixes, so
+//! they re-position and re-explore the same subnets hop after hop. The
+//! cache remembers, across sessions:
+//!
+//! - **the stop set**: every `(prev, v, d)` hop that was positioned and
+//!   explored, mapped to its outcome — including barren outcomes, so a
+//!   hop that yielded nothing is not re-probed either (the Doubletree
+//!   stop-set idea applied to subnet exploration); and
+//! - **accepted subnets**, keyed by prefix with members merged — in
+//!   [`SubnetCache::aggressive`] mode a hop whose address is already a
+//!   member of an accepted subnet reuses it, exactly like the
+//!   within-session `reuse_known_subnets` skip.
+//!
+//! Only the stop-set tier serves lookups by default, and that is what
+//! makes the default cache *observation-equivalent*: on a network whose
+//! responses don't depend on probe history, the outcome of exploring
+//! hop `(prev, v, d)` is a pure function of the key, so replaying the
+//! first writer's outcome is exactly what the reader would have
+//! computed itself. Membership replay is not order-independent — two
+//! sessions can reach one subnet through *different* hop keys and
+//! legitimately collect different (nested) prefixes, and which one the
+//! cache replays would depend on which session finished first — so the
+//! conformant default leaves it off, and the conformance suite pins
+//! that choice.
+//!
+//! Lookups and admissions take one short mutex-protected critical
+//! section; statistics are lock-free atomics, so workers can read them
+//! while a batch is running.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use inet::{Addr, Prefix};
+use parking_lot::Mutex;
+use tracenet::{CacheLookup, ObservedSubnet, SubnetStore};
+
+/// A hop identity: previous trace address, hop address, TTL — the inputs
+/// that determine positioning.
+type HopKey = (Option<Addr>, Addr, u8);
+
+#[derive(Default)]
+struct Inner {
+    /// Accepted (≥ 2 member) subnets by prefix, members merged across
+    /// observations.
+    accepted: BTreeMap<Prefix, ObservedSubnet>,
+    /// Member address → accepted prefix, for O(log n) containment hits.
+    member_of: BTreeMap<Addr, Prefix>,
+    /// Exact per-hop outcomes, barren ones included.
+    stop_set: BTreeMap<HopKey, Option<ObservedSubnet>>,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    skips: AtomicU64,
+    misses: AtomicU64,
+    admitted: AtomicU64,
+}
+
+/// A frozen view of the cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that supplied a reusable subnet.
+    pub hits: u64,
+    /// Lookups that replayed a remembered barren hop (skip, no subnet).
+    pub skips: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Hops admitted after exploration.
+    pub admitted: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.skips + self.misses
+    }
+}
+
+/// A concurrent cross-session subnet cache (cheaply cloneable handle).
+#[derive(Clone, Default)]
+pub struct SubnetCache {
+    inner: Arc<Mutex<Inner>>,
+    counters: Arc<Counters>,
+    aggressive: bool,
+}
+
+impl SubnetCache {
+    /// An empty cache in the conformant default mode: only exact
+    /// `(prev, v, d)` stop-set entries replay.
+    pub fn new() -> SubnetCache {
+        SubnetCache::default()
+    }
+
+    /// An empty cache that additionally replays any accepted subnet one
+    /// of whose members is hit at *any* hop key. Saves more probes, but
+    /// the replayed prefix then depends on which session explored
+    /// first, so batch output is no longer guaranteed identical to a
+    /// sequential run (it may collect a superset prefix where the
+    /// sequential run collects nested ones).
+    pub fn aggressive() -> SubnetCache {
+        SubnetCache { aggressive: true, ..SubnetCache::default() }
+    }
+
+    /// Freezes the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            skips: self.counters.skips.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            admitted: self.counters.admitted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of accepted subnets.
+    pub fn len(&self) -> usize {
+        self.inner.lock().accepted.len()
+    }
+
+    /// Whether no subnet has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The accepted prefixes, sorted.
+    pub fn accepted_prefixes(&self) -> Vec<Prefix> {
+        self.inner.lock().accepted.keys().copied().collect()
+    }
+}
+
+impl SubnetStore for SubnetCache {
+    fn lookup(&self, prev: Option<Addr>, v: Addr, d: u8) -> CacheLookup {
+        let inner = self.inner.lock();
+        if let Some(outcome) = inner.stop_set.get(&(prev, v, d)) {
+            let counter =
+                if outcome.is_some() { &self.counters.hits } else { &self.counters.skips };
+            counter.fetch_add(1, Ordering::Relaxed);
+            return CacheLookup::Hit(outcome.clone());
+        }
+        if self.aggressive {
+            if let Some(subnet) = inner.member_of.get(&v).and_then(|p| inner.accepted.get(p)) {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return CacheLookup::Hit(Some(subnet.clone()));
+            }
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        CacheLookup::Miss
+    }
+
+    fn admit(&self, prev: Option<Addr>, v: Addr, d: u8, outcome: Option<&ObservedSubnet>) {
+        self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        // First writer wins on the exact key: with a history-independent
+        // network every writer stores the same outcome anyway, and a
+        // stable entry keeps replays consistent within one batch.
+        inner.stop_set.entry((prev, v, d)).or_insert_with(|| outcome.cloned());
+        if let Some(s) = outcome {
+            if s.record.len() >= 2 {
+                let prefix = s.record.prefix();
+                let members: Vec<Addr> = {
+                    let entry = inner
+                        .accepted
+                        .entry(prefix)
+                        .and_modify(|existing| {
+                            for &m in s.record.members() {
+                                existing.record.insert(m);
+                            }
+                        })
+                        .or_insert_with(|| s.clone());
+                    entry.record.members().to_vec()
+                };
+                for m in members {
+                    inner.member_of.insert(m, prefix);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet::SubnetRecord;
+    use tracenet::StopCause;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn subnet(prefix: &str, members: &[&str]) -> ObservedSubnet {
+        ObservedSubnet {
+            record: SubnetRecord::new(
+                prefix.parse::<Prefix>().unwrap(),
+                members.iter().map(|m| a(m)),
+            )
+            .unwrap(),
+            pivot: a(members[members.len() - 1]),
+            pivot_dist: 3,
+            contra_pivot: None,
+            ingress: None,
+            on_path: true,
+            stop: StopCause::Underutilized,
+        }
+    }
+
+    #[test]
+    fn exact_key_replays_the_stored_outcome() {
+        let cache = SubnetCache::new();
+        let s = subnet("10.0.2.0/29", &["10.0.2.1", "10.0.2.2"]);
+        cache.admit(Some(a("10.0.1.1")), a("10.0.2.1"), 3, Some(&s));
+        match cache.lookup(Some(a("10.0.1.1")), a("10.0.2.1"), 3) {
+            CacheLookup::Hit(Some(got)) => assert_eq!(got.record.prefix(), s.record.prefix()),
+            other => panic!("expected a hit, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.skips, stats.misses, stats.admitted), (1, 0, 0, 1));
+    }
+
+    #[test]
+    fn barren_hops_replay_as_skips() {
+        let cache = SubnetCache::new();
+        cache.admit(None, a("10.0.0.1"), 1, None);
+        match cache.lookup(None, a("10.0.0.1"), 1) {
+            CacheLookup::Hit(None) => {}
+            other => panic!("expected a barren replay, got {other:?}"),
+        }
+        // A barren exact entry does not poison containment lookups for
+        // other hops, and unknown hops still miss.
+        assert!(matches!(cache.lookup(None, a("10.0.0.2"), 1), CacheLookup::Miss));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.skips, stats.misses), (0, 1, 1));
+    }
+
+    #[test]
+    fn default_cache_never_replays_across_hop_keys() {
+        // Two sessions can reach one subnet through different hop keys
+        // and legitimately collect different nested prefixes; replaying
+        // across keys would make the result depend on which session
+        // finished first. The conformant default therefore misses here.
+        let cache = SubnetCache::new();
+        let s = subnet("10.0.2.0/29", &["10.0.2.1", "10.0.2.2", "10.0.2.3"]);
+        cache.admit(Some(a("10.0.1.1")), a("10.0.2.3"), 4, Some(&s));
+        assert!(matches!(cache.lookup(Some(a("9.9.9.9")), a("10.0.2.2"), 7), CacheLookup::Miss));
+        assert!(matches!(cache.lookup(Some(a("10.0.1.1")), a("10.0.2.3"), 5), CacheLookup::Miss));
+    }
+
+    #[test]
+    fn aggressive_cache_hits_any_accepted_member_at_any_hop() {
+        let cache = SubnetCache::aggressive();
+        let s = subnet("10.0.2.0/29", &["10.0.2.1", "10.0.2.2", "10.0.2.3"]);
+        cache.admit(Some(a("10.0.1.1")), a("10.0.2.3"), 4, Some(&s));
+        // A different member, a different previous hop, a different TTL:
+        // still a hit, mirroring within-session reuse semantics.
+        match cache.lookup(Some(a("9.9.9.9")), a("10.0.2.2"), 7) {
+            CacheLookup::Hit(Some(got)) => assert!(got.record.contains(a("10.0.2.2"))),
+            other => panic!("expected a membership hit, got {other:?}"),
+        }
+        // Addresses inside the prefix but never observed are not members.
+        assert!(matches!(cache.lookup(None, a("10.0.2.6"), 4), CacheLookup::Miss));
+    }
+
+    #[test]
+    fn singletons_replay_exactly_but_never_spread() {
+        let cache = SubnetCache::new();
+        let s = subnet("10.0.2.0/31", &["10.0.2.1"]);
+        cache.admit(None, a("10.0.2.1"), 2, Some(&s));
+        // The exact hop replays its singleton…
+        assert!(matches!(cache.lookup(None, a("10.0.2.1"), 2), CacheLookup::Hit(Some(_))));
+        // …but a singleton is not an accepted subnet: the same address
+        // through a different hop key misses.
+        assert!(matches!(cache.lookup(None, a("10.0.2.1"), 5), CacheLookup::Miss));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn same_prefix_observations_merge_members() {
+        let cache = SubnetCache::aggressive();
+        cache.admit(
+            None,
+            a("10.0.2.1"),
+            3,
+            Some(&subnet("10.0.2.0/29", &["10.0.2.1", "10.0.2.2"])),
+        );
+        cache.admit(
+            None,
+            a("10.0.2.4"),
+            3,
+            Some(&subnet("10.0.2.0/29", &["10.0.2.2", "10.0.2.4"])),
+        );
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.accepted_prefixes(), vec!["10.0.2.0/29".parse::<Prefix>().unwrap()]);
+        match cache.lookup(None, a("10.0.2.4"), 9) {
+            CacheLookup::Hit(Some(got)) => {
+                assert_eq!(got.record.len(), 3, "members merged across observations");
+            }
+            other => panic!("expected a hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_admits_and_lookups_stay_consistent() {
+        let cache = SubnetCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    for k in 0..50u32 {
+                        let octet = (t * 50 + k) % 200;
+                        let base = format!("10.1.{octet}.0");
+                        let s = subnet(
+                            &format!("{base}/30"),
+                            &[&format!("10.1.{octet}.1"), &format!("10.1.{octet}.2")],
+                        );
+                        cache.admit(None, s.pivot, 3, Some(&s));
+                        let _ = cache.lookup(None, s.pivot, 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 200, "one accepted subnet per distinct prefix");
+        let stats = cache.stats();
+        assert_eq!(stats.admitted, 400);
+        assert_eq!(stats.lookups(), 400);
+        assert_eq!(stats.misses, 0, "a lookup after admit always resolves");
+    }
+}

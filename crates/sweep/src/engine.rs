@@ -1,0 +1,255 @@
+//! The batch scheduler: N targets fanned across a worker pool over one
+//! mutex-protected network.
+//!
+//! Determinism contract: the result is assembled into **target order**
+//! regardless of which worker finished which session first, and every
+//! session's probe ident is a pure function of its target index (see
+//! [`crate::ident`]), so the collected output is independent of the
+//! thread count on any topology whose responses do not depend on probe
+//! interleaving (no rate limiting, no fluctuation). The conformance
+//! suite in `tests/conformance.rs` pins exactly that property.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use inet::Addr;
+use netsim::Network;
+use obs::Recorder;
+use parking_lot::Mutex;
+use probe::{Prober, Protocol, SharedNetwork, SimProber};
+use tracenet::{Session, SubnetStore, TraceReport, TracenetOptions};
+
+use crate::cache::{CacheStats, SubnetCache};
+use crate::ident::{IdentAllocator, IdentBlock, IdentSpace};
+
+/// Configuration of one batch run.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Worker threads (values ≤ 1 run inline on the calling thread).
+    pub jobs: usize,
+    /// Whether sessions share a cross-session [`SubnetCache`].
+    pub use_cache: bool,
+    /// Probe protocol.
+    pub protocol: Protocol,
+    /// Per-session tracenet options.
+    pub opts: TracenetOptions,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            jobs: 1,
+            use_cache: true,
+            protocol: Protocol::Icmp,
+            opts: TracenetOptions::default(),
+        }
+    }
+}
+
+/// Everything one batch collected.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// One report per target, **in target order** (merge order is
+    /// independent of the thread count).
+    pub reports: Vec<TraceReport>,
+    /// Total wire probes across all sessions.
+    pub probes: u64,
+    /// Cache counters (all zero when the cache was disabled).
+    pub cache: CacheStats,
+}
+
+fn run_session<P: Prober>(
+    prober: P,
+    target: Addr,
+    opts: TracenetOptions,
+    store: Option<Arc<dyn SubnetStore>>,
+    recorder: &Recorder,
+) -> TraceReport {
+    let mut session = Session::new(prober, opts).with_recorder(recorder.clone());
+    if let Some(store) = store {
+        session = session.with_subnet_store(store);
+    }
+    session.run(target)
+}
+
+fn finish(reports: Vec<TraceReport>, cache: Option<SubnetCache>) -> BatchResult {
+    let probes = reports.iter().map(|r| r.total_probes).sum();
+    BatchResult { probes, reports, cache: cache.map(|c| c.stats()).unwrap_or_default() }
+}
+
+/// Runs one tracenet session per target against a shared network,
+/// fanning the targets across `cfg.jobs` worker threads.
+pub fn run_batch(
+    net: &SharedNetwork,
+    vantage: Addr,
+    targets: &[Addr],
+    cfg: &BatchConfig,
+    recorder: &Recorder,
+) -> BatchResult {
+    let cache = cfg.use_cache.then(SubnetCache::new);
+    let store: Option<Arc<dyn SubnetStore>> =
+        cache.clone().map(|c| Arc::new(c) as Arc<dyn SubnetStore>);
+    let block = IdentAllocator::new().block(IdentSpace::Tracenet, targets.len());
+    let jobs = cfg.jobs.clamp(1, targets.len().max(1));
+
+    if jobs <= 1 {
+        let reports: Vec<TraceReport> = targets
+            .iter()
+            .enumerate()
+            .map(|(k, &target)| {
+                let prober = net
+                    .prober(vantage, cfg.protocol)
+                    .ident(block.get(k))
+                    .recorder(recorder.clone());
+                run_session(prober, target, cfg.opts, store.clone(), recorder)
+            })
+            .collect();
+        return finish(reports, cache);
+    }
+
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, TraceReport)>> = Mutex::new(Vec::with_capacity(targets.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&target) = targets.get(k) else { break };
+                let prober = net
+                    .prober(vantage, cfg.protocol)
+                    .ident(block.get(k))
+                    .recorder(recorder.clone());
+                let report = run_session(prober, target, cfg.opts, store.clone(), recorder);
+                done.lock().push((k, report));
+            });
+        }
+    });
+
+    // Deterministic merge: place every report at its target index.
+    let mut slots: Vec<Option<TraceReport>> = targets.iter().map(|_| None).collect();
+    for (k, report) in done.into_inner() {
+        slots[k] = Some(report);
+    }
+    let reports = slots.into_iter().map(|r| r.expect("one report per target")).collect();
+    finish(reports, cache)
+}
+
+/// The sequential engine over an exclusively borrowed network: the same
+/// per-session pipeline (allocator idents, optional cache) without the
+/// mutex. `evalkit::run::run_tracenet_with` delegates here.
+pub fn run_batch_seq(
+    net: &mut Network,
+    vantage: Addr,
+    targets: &[Addr],
+    cfg: &BatchConfig,
+    recorder: &Recorder,
+) -> BatchResult {
+    let cache = cfg.use_cache.then(SubnetCache::new);
+    let store: Option<Arc<dyn SubnetStore>> =
+        cache.clone().map(|c| Arc::new(c) as Arc<dyn SubnetStore>);
+    let block = IdentAllocator::new().block(IdentSpace::Tracenet, targets.len());
+    let reports: Vec<TraceReport> = targets
+        .iter()
+        .enumerate()
+        .map(|(k, &target)| {
+            let prober = SimProber::with_protocol(net, vantage, cfg.protocol)
+                .ident(block.get(k))
+                .recorder(recorder.clone());
+            run_session(prober, target, cfg.opts, store.clone(), recorder)
+        })
+        .collect();
+    finish(reports, cache)
+}
+
+/// Idents reserved for a traceroute baseline over `len` targets, from the
+/// traceroute namespace (disjoint from tracenet's — the old xor-based
+/// schemes could collide).
+pub fn traceroute_idents(len: usize) -> IdentBlock {
+    IdentAllocator::new().block(IdentSpace::Traceroute, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::samples;
+
+    fn chain_net() -> (SharedNetwork, samples::Names) {
+        let (topo, names) = samples::chain(3);
+        (SharedNetwork::new(Network::new(topo)), names)
+    }
+
+    #[test]
+    fn batch_over_one_target_matches_a_plain_session() {
+        let (shared, names) = chain_net();
+        let cfg = BatchConfig::default();
+        let result = run_batch(
+            &shared,
+            names.addr("vantage"),
+            &[names.addr("dest")],
+            &cfg,
+            &Recorder::disabled(),
+        );
+        assert_eq!(result.reports.len(), 1);
+        assert!(result.reports[0].destination_reached);
+        assert_eq!(result.probes, result.reports[0].total_probes);
+        assert_eq!(result.reports[0].subnets().count(), 4, "all four /31 links");
+    }
+
+    #[test]
+    fn repeating_a_target_hits_the_cache() {
+        let (shared, names) = chain_net();
+        let dest = names.addr("dest");
+        let cfg = BatchConfig::default();
+        let result =
+            run_batch(&shared, names.addr("vantage"), &[dest, dest], &cfg, &Recorder::disabled());
+        assert!(result.cache.hits > 0, "the second session reuses the first's subnets");
+        assert!(
+            result.reports[1].total_probes < result.reports[0].total_probes,
+            "cached session is cheaper ({} vs {})",
+            result.reports[1].total_probes,
+            result.reports[0].total_probes
+        );
+        let p0: Vec<_> = result.reports[0].subnets().map(|s| s.record.prefix()).collect();
+        let p1: Vec<_> = result.reports[1].subnets().map(|s| s.record.prefix()).collect();
+        assert_eq!(p0, p1, "replayed sessions report the same subnets");
+    }
+
+    #[test]
+    fn disabled_cache_reports_zero_stats() {
+        let (shared, names) = chain_net();
+        let dest = names.addr("dest");
+        let cfg = BatchConfig { use_cache: false, ..BatchConfig::default() };
+        let result =
+            run_batch(&shared, names.addr("vantage"), &[dest, dest], &cfg, &Recorder::disabled());
+        assert_eq!(result.cache, CacheStats::default());
+        assert_eq!(result.reports[0].total_probes, result.reports[1].total_probes);
+    }
+
+    #[test]
+    fn worker_pool_preserves_target_order() {
+        let (topo, names) = samples::figure3();
+        let shared = SharedNetwork::new(Network::new(topo));
+        let targets =
+            [names.addr("dest"), names.addr("R5.n"), names.addr("dest"), names.addr("R5.n")];
+        let cfg = BatchConfig { jobs: 4, ..BatchConfig::default() };
+        let result =
+            run_batch(&shared, names.addr("vantage"), &targets, &cfg, &Recorder::disabled());
+        assert_eq!(result.reports.len(), targets.len());
+        for (report, &target) in result.reports.iter().zip(&targets) {
+            assert_eq!(report.destination, target, "report k belongs to target k");
+        }
+    }
+
+    #[test]
+    fn empty_target_list_is_fine() {
+        let (shared, names) = chain_net();
+        let result = run_batch(
+            &shared,
+            names.addr("vantage"),
+            &[],
+            &BatchConfig::default(),
+            &Recorder::disabled(),
+        );
+        assert!(result.reports.is_empty());
+        assert_eq!(result.probes, 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests over the batch engine: on randomized topologies the
+//! cross-session cache must change probe spend, never observations.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use evalkit::run::run_tracenet_batch;
+use evalkit::CollectedSet;
+use inet::{Addr, Prefix};
+use netsim::Network;
+use probe::SharedNetwork;
+use proptest::prelude::*;
+use sweep::BatchConfig;
+use topogen::random_topology;
+
+fn collect(
+    scenario: &topogen::Scenario,
+    targets: &[Addr],
+    cfg: &BatchConfig,
+) -> (CollectedSet, sweep::CacheStats) {
+    let shared = SharedNetwork::new(Network::new(scenario.topology.clone()));
+    run_tracenet_batch(
+        &shared,
+        scenario.vantage("vantage"),
+        targets,
+        cfg,
+        &obs::Recorder::disabled(),
+    )
+}
+
+fn subnet_map(set: &CollectedSet) -> BTreeMap<Prefix, BTreeSet<Addr>> {
+    set.records().iter().map(|r| (r.prefix(), r.members().iter().copied().collect())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The cached run discovers exactly the uncached run's subnet set
+    /// (same prefixes, same members, same addresses) while never
+    /// spending more probes.
+    #[test]
+    fn cache_changes_probes_not_observations(seed in 0u64..64, size in 8usize..=11) {
+        let scenario = random_topology(seed, size);
+        let targets: Vec<Addr> = scenario.targets.iter().copied().take(16).collect();
+        let uncached =
+            collect(&scenario, &targets, &BatchConfig { use_cache: false, ..BatchConfig::default() });
+        let cached = collect(&scenario, &targets, &BatchConfig::default());
+
+        prop_assert_eq!(subnet_map(&cached.0), subnet_map(&uncached.0), "seed {}", seed);
+        prop_assert_eq!(cached.0.addresses(), uncached.0.addresses(), "seed {}", seed);
+        prop_assert!(
+            cached.0.probes <= uncached.0.probes,
+            "seed {}: cache added probes ({} > {})",
+            seed, cached.0.probes, uncached.0.probes
+        );
+        prop_assert_eq!(uncached.1, sweep::CacheStats::default());
+    }
+
+    /// Accounting invariants: every target gets a session, every lookup
+    /// is counted exactly once, and hits plus sessions can only exceed
+    /// the target count (each hit stands in for work a session skipped).
+    #[test]
+    fn cache_accounting_is_complete(seed in 64u64..128, jobs in 1usize..=8) {
+        let scenario = random_topology(seed, 9);
+        let targets: Vec<Addr> = scenario.targets.iter().copied().take(12).collect();
+        let (set, stats) =
+            collect(&scenario, &targets, &BatchConfig { jobs, ..BatchConfig::default() });
+
+        prop_assert_eq!(set.sessions, targets.len(), "seed {}", seed);
+        prop_assert_eq!(stats.lookups(), stats.hits + stats.skips + stats.misses);
+        prop_assert!(
+            stats.hits + set.sessions as u64 >= targets.len() as u64,
+            "seed {}: sessions ran but accounting lost hits", seed
+        );
+        // Every miss is a hop the engine went on to explore and admit.
+        prop_assert!(
+            stats.admitted >= stats.misses,
+            "seed {}: {} misses but only {} admissions",
+            seed, stats.misses, stats.admitted
+        );
+    }
+
+    /// Thread count is invisible in the output: jobs=1 and jobs=8 cached
+    /// runs produce identical collected sets on fluctuation-free nets.
+    #[test]
+    fn thread_count_is_invisible(seed in 128u64..160) {
+        let scenario = random_topology(seed, 10);
+        let targets: Vec<Addr> = scenario.targets.iter().copied().take(12).collect();
+        let seq = collect(&scenario, &targets, &BatchConfig::default());
+        let par = collect(&scenario, &targets, &BatchConfig { jobs: 8, ..BatchConfig::default() });
+        prop_assert_eq!(subnet_map(&par.0), subnet_map(&seq.0), "seed {}", seed);
+        prop_assert_eq!(par.0.addresses(), seq.0.addresses(), "seed {}", seed);
+    }
+}
