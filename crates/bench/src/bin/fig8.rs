@@ -2,24 +2,30 @@
 //!
 //! ```text
 //! cargo run --release -p bench-suite --bin fig8 [seed] [--jobs N] [--no-cache]
+//!     [--fault-profile NAME] [--fault-seed N] [--fault-budget N]
+//!     [--retries N] [--backoff none|exp|adaptive]
 //! ```
 //!
 //! `--jobs N` fans each vantage's targets over N worker threads and
 //! `--no-cache` disables the cross-session subnet cache; the default
 //! (one worker, cache on) reproduces the sequential collection order.
+//! The fault flags attach a seeded fault plan to the shared internet,
+//! showing how the per-ISP counts degrade under loss.
 
 use bench_suite::{batch_args, isp_experiment_with};
 use evalkit::render::table;
 use obs::Phase;
 
 fn main() {
-    let (seed, cfg) = batch_args();
-    let exp = isp_experiment_with(seed, &cfg);
+    let args = batch_args();
+    let exp = isp_experiment_with(&args);
+    let (seed, cfg) = (args.seed, &args.cfg);
     println!("== Figure 8: subnets per ISP per vantage point ==");
     println!(
-        "seed: {seed}, jobs: {}, cache: {}\n",
+        "seed: {seed}, jobs: {}, cache: {}, faults: {}\n",
         cfg.jobs,
-        if cfg.use_cache { "on" } else { "off" }
+        if cfg.use_cache { "on" } else { "off" },
+        if args.fault.is_some() { "injected" } else { "none" }
     );
     let counts = exp.subnet_counts();
     let isps: Vec<&str> = counts[0].1.iter().map(|(isp, _)| isp.as_str()).collect();

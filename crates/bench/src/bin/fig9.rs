@@ -3,22 +3,27 @@
 //!
 //! ```text
 //! cargo run --release -p bench-suite --bin fig9 [seed] [--jobs N] [--no-cache]
+//!     [--fault-profile NAME] [--fault-seed N] [--fault-budget N]
+//!     [--retries N] [--backoff none|exp|adaptive]
 //! ```
 //!
 //! `--jobs N` fans each vantage's targets over N worker threads and
-//! `--no-cache` disables the cross-session subnet cache.
+//! `--no-cache` disables the cross-session subnet cache. The fault
+//! flags attach a seeded fault plan to the shared internet.
 
 use bench_suite::{batch_args, isp_experiment_with, paper};
 use evalkit::render::log_bar;
 
 fn main() {
-    let (seed, cfg) = batch_args();
-    let exp = isp_experiment_with(seed, &cfg);
+    let args = batch_args();
+    let exp = isp_experiment_with(&args);
+    let (seed, cfg) = (args.seed, &args.cfg);
     println!("== Figure 9: subnet prefix length distribution per vantage ==");
     println!(
-        "seed: {seed}, jobs: {}, cache: {}",
+        "seed: {seed}, jobs: {}, cache: {}, faults: {}",
         cfg.jobs,
-        if cfg.use_cache { "on" } else { "off" }
+        if cfg.use_cache { "on" } else { "off" },
+        if args.fault.is_some() { "injected" } else { "none" }
     );
     for ((vantage, series), run) in exp.prefix_series().into_iter().zip(&exp.runs) {
         let m = &run.metrics;

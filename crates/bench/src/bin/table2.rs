@@ -3,26 +3,31 @@
 //!
 //! ```text
 //! cargo run --release -p bench-suite --bin table2 [seed] [--jobs N] [--no-cache]
+//!     [--fault-profile NAME] [--fault-seed N] [--fault-budget N]
+//!     [--retries N] [--backoff none|exp|adaptive]
 //! ```
 //!
 //! `--jobs N` fans the targets over N worker threads and `--no-cache`
 //! disables the cross-session subnet cache; the conformance suite pins
-//! the collected distribution equal either way.
+//! the collected distribution equal either way. The fault flags attach
+//! a seeded fault plan, quantifying what loss costs the table.
 
 use bench_suite::{accuracy_experiment_with, batch_args, paper};
 use obs::Phase;
 
 fn main() {
-    let (seed, cfg) = batch_args();
-    let r = accuracy_experiment_with(topogen::geant(seed), &cfg);
+    let args = batch_args();
+    let r = accuracy_experiment_with(topogen::geant(args.seed), &args);
+    let (seed, cfg) = (args.seed, &args.cfg);
     println!("== Table 2: GEANT, original and collected subnet distribution ==");
     println!(
-        "seed: {seed}, jobs: {}, cache: {} ({} hits, {} skips, {} misses)",
+        "seed: {seed}, jobs: {}, cache: {} ({} hits, {} skips, {} misses), faults: {}",
         cfg.jobs,
         if cfg.use_cache { "on" } else { "off" },
         r.cache.hits,
         r.cache.skips,
-        r.cache.misses
+        r.cache.misses,
+        if args.fault.is_some() { "injected" } else { "none" }
     );
     println!(
         "probes: {} (trace {} / position {} / explore {}); \

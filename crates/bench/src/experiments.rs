@@ -42,33 +42,85 @@ pub struct AccuracyResult {
     pub cache: CacheStats,
 }
 
-/// Seed / `--jobs N` / `--no-cache` argument parsing shared by the
-/// reproduction binaries: a bare number is the seed, defaults are one
-/// worker with the cache on.
-pub fn batch_args() -> (u64, BatchConfig) {
+/// Parsed arguments shared by the batch-engine reproduction binaries.
+///
+/// A bare number is the experiment seed; the fault and retry flags
+/// mirror the CLI's, so a figure can be regenerated under injected
+/// faults for robustness comparisons.
+pub struct ExpArgs {
+    /// Experiment seed (topology, targets, and the default fault seed).
+    pub seed: u64,
+    /// Batch-engine configuration (jobs, cache, retry policy, options).
+    pub cfg: BatchConfig,
+    /// Seeded fault plan to attach to the simulated network, if any.
+    pub fault: Option<netsim::FaultPlan>,
+}
+
+const EXP_USAGE: &str = "usage: [seed] [--jobs N] [--no-cache] \
+     [--retries N] [--backoff none|exp|adaptive] [--fault-profile NAME] \
+     [--fault-seed N] [--fault-budget N]";
+
+fn bail(msg: &str) -> ! {
+    eprintln!("{msg}\n{EXP_USAGE}");
+    std::process::exit(2);
+}
+
+fn num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| bail(&format!("{flag} needs a number")))
+}
+
+/// Argument parsing shared by the reproduction binaries; exits with the
+/// usage line on malformed input.
+pub fn batch_args() -> ExpArgs {
     let mut seed = SEED;
     let mut cfg = BatchConfig::default();
+    let mut profile: Option<netsim::FaultProfile> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut retries: Option<u8> = None;
+    let mut backoff = "none".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--jobs" => {
-                let v = args.next().and_then(|v| v.parse().ok());
-                cfg.jobs = v.unwrap_or_else(|| {
-                    eprintln!("--jobs needs a number");
-                    std::process::exit(2);
-                });
-            }
+            "--jobs" => cfg.jobs = num(&mut args, "--jobs") as usize,
             "--no-cache" => cfg.use_cache = false,
+            "--retries" => retries = Some(num(&mut args, "--retries") as u8),
+            "--backoff" => {
+                backoff = args.next().unwrap_or_else(|| bail("--backoff needs a mode"));
+            }
+            "--fault-profile" => {
+                let name = args.next().unwrap_or_else(|| bail("--fault-profile needs a name"));
+                profile = Some(
+                    netsim::FaultProfile::by_name(&name)
+                        .unwrap_or_else(|| bail(&format!("unknown fault profile {name:?}"))),
+                );
+            }
+            "--fault-seed" => fault_seed = Some(num(&mut args, "--fault-seed")),
+            "--fault-budget" => {
+                cfg.opts.hop_fault_budget = Some(num(&mut args, "--fault-budget") as u16);
+            }
             other => match other.parse() {
                 Ok(s) => seed = s,
-                Err(_) => {
-                    eprintln!("usage: [seed] [--jobs N] [--no-cache]");
-                    std::process::exit(2);
-                }
+                Err(_) => bail(&format!("unrecognized argument {other:?}")),
             },
         }
     }
-    (seed, cfg)
+    let retries = retries.unwrap_or(probe::DEFAULT_RETRIES);
+    cfg.retry = match backoff.as_str() {
+        "none" => probe::RetryPolicy::Fixed { retries },
+        "exp" => probe::RetryPolicy::Backoff { retries, base: 8 },
+        "adaptive" => {
+            probe::RetryPolicy::Adaptive { min: probe::DEFAULT_RETRIES.min(retries), max: retries }
+        }
+        other => bail(&format!("unknown backoff mode {other:?}")),
+    };
+    let fault = match (profile, fault_seed) {
+        (Some(p), s) => Some(p.plan(s.unwrap_or(seed))),
+        (None, Some(s)) => Some(netsim::FaultPlan::new(s)),
+        (None, None) => None,
+    };
+    ExpArgs { seed, cfg, fault }
 }
 
 /// Runs the Table 1 (Internet2) or Table 2 (GEANT) experiment, including
@@ -116,18 +168,22 @@ pub fn accuracy_experiment(scenario: Scenario) -> AccuracyResult {
 /// `cfg.jobs` workers sharing the cross-session subnet cache. The
 /// conformance suite guarantees the collected set (and therefore the
 /// table) matches the sequential run; only the probe budget shrinks.
-pub fn accuracy_experiment_with(scenario: Scenario, cfg: &BatchConfig) -> AccuracyResult {
+/// With a fault plan attached the run degrades gracefully instead,
+/// and the table quantifies what the faults cost.
+pub fn accuracy_experiment_with(scenario: Scenario, args: &ExpArgs) -> AccuracyResult {
     let network = scenario.name.clone();
     let vantage = scenario.vantages[0].1;
     let gt: Vec<&GtSubnet> = scenario.ground_truth.of_network(&network).collect();
 
-    let shared = SharedNetwork::new(Network::new(scenario.topology.clone()));
+    let mut net = Network::new(scenario.topology.clone());
+    net.set_fault_plan(args.fault);
+    let shared = SharedNetwork::new(net);
     let registry = Arc::new(obs::Registry::new());
     let (collected, cache) = run_tracenet_batch(
         &shared,
         vantage,
         &scenario.targets,
-        cfg,
+        &args.cfg,
         &obs::Recorder::new().with_metrics(Arc::clone(&registry)),
     );
     let mut classifications = classify(&gt, &collected.records());
@@ -227,12 +283,14 @@ pub fn isp_experiment(seed: u64) -> IspExperiment {
 
 /// [`isp_experiment`] on the batch engine: each vantage's target list is
 /// fanned over `cfg.jobs` workers against the shared fluctuating
-/// internet, with a per-vantage subnet cache.
-pub fn isp_experiment_with(seed: u64, cfg: &BatchConfig) -> IspExperiment {
-    let scenario = isp_internet(seed);
-    let shared = SharedNetwork::new(
-        Network::new(scenario.topology.clone()).with_fluctuation(ISP_FLUCTUATION_PERIOD),
-    );
+/// internet, with a per-vantage subnet cache. A fault plan from the
+/// arguments is attached to the shared network, so all three vantages
+/// see the same seeded fault schedule.
+pub fn isp_experiment_with(args: &ExpArgs) -> IspExperiment {
+    let scenario = isp_internet(args.seed);
+    let mut net = Network::new(scenario.topology.clone()).with_fluctuation(ISP_FLUCTUATION_PERIOD);
+    net.set_fault_plan(args.fault);
+    let shared = SharedNetwork::new(net);
     let mut runs = Vec::new();
     for (name, addr) in scenario.vantages.clone() {
         let registry = Arc::new(obs::Registry::new());
@@ -240,7 +298,7 @@ pub fn isp_experiment_with(seed: u64, cfg: &BatchConfig) -> IspExperiment {
             &shared,
             addr,
             &scenario.targets,
-            cfg,
+            &args.cfg,
             &obs::Recorder::new().with_metrics(Arc::clone(&registry)),
         );
         runs.push(VantageRun { vantage: name, collected, metrics: registry.snapshot(), cache });

@@ -26,6 +26,50 @@ fn protocol(opts: &Opts) -> Result<Protocol, String> {
     }
 }
 
+/// Parses `--retries` / `--backoff` into a retry policy. `--retries N`
+/// is the re-probe budget (the adaptive mode's maximum); `--backoff`
+/// picks the shape: `none` (back-to-back, the paper's behavior), `exp`
+/// (exponential idle before each retry), or `adaptive` (budget widens
+/// with the recent timeout rate).
+fn retry_policy(opts: &Opts) -> Result<probe::RetryPolicy, String> {
+    let retries = opts.flag_parse("retries", probe::DEFAULT_RETRIES)?;
+    match opts.flag("backoff").unwrap_or("none") {
+        "none" => Ok(probe::RetryPolicy::Fixed { retries }),
+        "exp" => Ok(probe::RetryPolicy::Backoff { retries, base: 8 }),
+        "adaptive" => Ok(probe::RetryPolicy::Adaptive {
+            min: probe::DEFAULT_RETRIES.min(retries),
+            max: retries,
+        }),
+        other => Err(format!("unknown backoff mode {other:?} (none|exp|adaptive)")),
+    }
+}
+
+/// Parses `--fault-profile` / `--fault-seed` into a fault plan. A seed
+/// without a profile attaches an all-zero plan (a no-op, useful for
+/// byte-identity checks); a profile without a seed uses seed 2010.
+fn fault_plan(opts: &Opts) -> Result<Option<netsim::FaultPlan>, String> {
+    let seed = opts.flag_parse("fault-seed", 2010u64)?;
+    match opts.flag("fault-profile") {
+        None if opts.flag("fault-seed").is_some() => Ok(Some(netsim::FaultPlan::new(seed))),
+        None => Ok(None),
+        Some(name) => match netsim::FaultProfile::by_name(name) {
+            Some(profile) => Ok(Some(profile.plan(seed))),
+            None => {
+                let known: Vec<&str> = netsim::FaultProfile::ALL.iter().map(|p| p.name()).collect();
+                Err(format!("unknown fault profile {name:?} (one of: {})", known.join("|")))
+            }
+        },
+    }
+}
+
+/// Parses `--fault-budget N` (absent means probe to exhaustion).
+fn fault_budget(opts: &Opts) -> Result<Option<u16>, String> {
+    match opts.flag("fault-budget") {
+        Some(_) => Ok(Some(opts.flag_parse::<u16>("fault-budget", 0)?)),
+        None => Ok(None),
+    }
+}
+
 fn vantage(scenario: &Scenario, opts: &Opts) -> Result<Addr, String> {
     match opts.flag("vantage") {
         None => scenario
@@ -131,8 +175,12 @@ pub fn trace(opts: &Opts) -> Result<String, String> {
     let scenario = load(opts)?;
     let v = vantage(&scenario, opts)?;
     let proto = protocol(opts)?;
-    let mut tn_opts = TracenetOptions::default();
-    tn_opts.max_ttl = opts.flag_parse("max-ttl", tn_opts.max_ttl)?;
+    let tn_opts = TracenetOptions {
+        max_ttl: opts.flag_parse("max-ttl", TracenetOptions::default().max_ttl)?,
+        hop_fault_budget: fault_budget(opts)?,
+        ..TracenetOptions::default()
+    };
+    let retry = retry_policy(opts)?;
     let (recorder, metrics) = recorder_from(opts)?;
 
     let targets: Vec<Addr> = if opts.has("all") {
@@ -144,11 +192,13 @@ pub fn trace(opts: &Opts) -> Result<String, String> {
     };
 
     let mut net = Network::new(scenario.topology.clone());
+    net.set_fault_plan(fault_plan(opts)?);
     let mut out = String::new();
     let mut reports = Vec::new();
     for (k, &target) in targets.iter().enumerate() {
         let mut prober = SimProber::with_protocol(&mut net, v, proto)
             .ident(k as u16 ^ 0x7ace)
+            .retry_policy(retry)
             .recorder(recorder.clone());
         let report = Session::new(&mut prober, tn_opts).with_recorder(recorder.clone()).run(target);
         if opts.has("json") {
@@ -189,10 +239,13 @@ fn report_to_json(r: &tracenet::TraceReport) -> serde_json::Value {
         "destination": r.destination.to_string(),
         "reached": r.destination_reached,
         "probes": r.total_probes,
+        "completeness": r.completeness().label(),
+        "aborted": r.aborted,
         "cost": cost_to_json(&r.phase_totals()),
         "hops": r.hops.iter().map(|h| serde_json::json!({
             "cost": cost_to_json(&h.cost),
             "hop": h.hop,
+            "completeness": h.completeness.label(),
             "addr": h.addr.map(|a| a.to_string()),
             "subnet": h.subnet.as_ref().map(|s| serde_json::json!({
                 "prefix": s.record.prefix().to_string(),
@@ -272,13 +325,18 @@ pub fn batch(opts: &Opts) -> Result<String, String> {
             .collect::<Result<_, _>>()?,
         None => scenario.targets.clone(),
     };
+    let tn_opts =
+        TracenetOptions { hop_fault_budget: fault_budget(opts)?, ..TracenetOptions::default() };
     let cfg = sweep::BatchConfig {
         jobs: opts.flag_parse("jobs", 4usize)?,
         use_cache: !opts.has("no-cache"),
         protocol: proto,
-        opts: TracenetOptions::default(),
+        opts: tn_opts,
+        retry: retry_policy(opts)?,
     };
-    let shared = probe::SharedNetwork::new(Network::new(scenario.topology.clone()));
+    let mut net = Network::new(scenario.topology.clone());
+    net.set_fault_plan(fault_plan(opts)?);
+    let shared = probe::SharedNetwork::new(net);
     let (collected, cache) =
         evalkit::run::run_tracenet_batch(&shared, v, &targets, &cfg, &recorder);
     recorder.flush().map_err(|e| format!("--trace-log: {e}"))?;

@@ -39,10 +39,18 @@ COMMANDS:
     info <scenario>           summarize a scenario file
     trace <scenario> (--target ADDR | --all) [--vantage NAME]
                               [--protocol icmp|udp|tcp] [--max-ttl N] [--json]
+                              [--retries N] [--backoff none|exp|adaptive]
+                              [--fault-profile NAME] [--fault-seed N]
+                              [--fault-budget N]
                               [--trace-log FILE] [--metrics FILE] [-v|-vv]
                               run tracenet sessions; --trace-log streams one
                               JSON line per probe, --metrics writes per-phase
-                              counters, -v/-vv print span-structured progress
+                              counters, -v/-vv print span-structured progress;
+                              --fault-profile injects seeded faults
+                              (none|light-loss|heavy-loss|rate-storm|
+                              flaky-links|chaos), --retries/--backoff shape
+                              the re-probe policy, --fault-budget abandons a
+                              hop after N fault-attributed timeouts
     traceroute <scenario> --target ADDR [--vantage NAME] [--paris]
                               [--queries N] run the baseline traceroute
     ping <scenario> --target ADDR [--vantage NAME] [--count N]
@@ -50,11 +58,15 @@ COMMANDS:
                               ping every address of a prefix (§4.1.1 audit)
     batch <scenario> [--targets A,B,..] [--jobs N] [--no-cache]
                               [--vantage NAME] [--protocol icmp|udp|tcp] [--json]
+                              [--retries N] [--backoff none|exp|adaptive]
+                              [--fault-profile NAME] [--fault-seed N]
+                              [--fault-budget N]
                               [--trace-log FILE] [--metrics FILE]
                               trace many targets on a worker pool sharing a
                               cross-session subnet cache; --jobs sets the
                               thread count (default 4), --no-cache disables
-                              subnet reuse across sessions
+                              subnet reuse across sessions; fault and retry
+                              flags as in `trace`
     eval <scenario> [--protocol icmp|udp|tcp]
                               collect everything and score against ground truth
     map <scenario> [--vantage NAME] [--protocol icmp|udp|tcp]

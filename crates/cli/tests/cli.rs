@@ -115,6 +115,79 @@ fn help_documents_batch_flags() {
     assert!(help.contains("batch <scenario>"), "{help}");
     assert!(help.contains("--jobs"), "{help}");
     assert!(help.contains("--no-cache"), "{help}");
+    assert!(help.contains("--fault-profile"), "{help}");
+    assert!(help.contains("--backoff"), "{help}");
+}
+
+#[test]
+fn trace_under_faults_reports_completeness() {
+    let path = scenario_file("trace-faults");
+    let json = std::fs::read_to_string(&path).unwrap();
+    let scenario = topogen::io::from_json(&json).unwrap();
+    let target = scenario.targets[0].to_string();
+    let p = path.to_str().unwrap();
+
+    // A zero plan (seed only) must not change the clean run's output.
+    let clean = run(&["trace", p, "--target", &target]).unwrap();
+    let zeroed = run(&["trace", p, "--target", &target, "--fault-seed", "9"]).unwrap();
+    assert_eq!(clean, zeroed, "a zero fault plan changed the output");
+
+    // Heavy loss with a budget and adaptive retries still completes and
+    // flags the JSON report.
+    let out = run(&[
+        "trace",
+        p,
+        "--target",
+        &target,
+        "--json",
+        "--fault-profile",
+        "heavy-loss",
+        "--fault-seed",
+        "2010",
+        "--fault-budget",
+        "16",
+        "--retries",
+        "3",
+        "--backoff",
+        "adaptive",
+    ])
+    .unwrap();
+    let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    assert!(v[0]["completeness"].as_str().is_some());
+    assert_eq!(v[0]["aborted"], false);
+    assert!(v[0]["hops"][0]["completeness"].as_str().is_some());
+
+    // Unknown profile and backoff names are rejected with the choices.
+    let err = run(&["trace", p, "--target", &target, "--fault-profile", "nope"]).unwrap_err();
+    assert!(err.contains("chaos"), "{err}");
+    let err = run(&["trace", p, "--target", &target, "--backoff", "cubic"]).unwrap_err();
+    assert!(err.contains("adaptive"), "{err}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn batch_under_faults_completes() {
+    let path = scenario_file("batch-faults");
+    let p = path.to_str().unwrap();
+    let out = run(&[
+        "batch",
+        p,
+        "--jobs",
+        "2",
+        "--fault-profile",
+        "chaos",
+        "--fault-seed",
+        "424242",
+        "--fault-budget",
+        "24",
+        "--backoff",
+        "exp",
+        "--retries",
+        "2",
+    ])
+    .unwrap();
+    assert!(out.contains("collected"), "{out}");
+    std::fs::remove_file(path).ok();
 }
 
 #[test]

@@ -92,6 +92,11 @@ pub struct TracenetOptions {
     pub explore_off_path: bool,
     /// Active growth heuristics.
     pub heuristics: HeuristicSet,
+    /// Fault-attributed timeouts (loss, outage, rate-limit silence —
+    /// `probe::ProbeStats::fault_timeouts`) tolerated per hop before the
+    /// hop is abandoned. `None` (the default) never abandons, matching
+    /// the paper's tracenet which has no such bound.
+    pub hop_fault_budget: Option<u16>,
 }
 
 impl Default for TracenetOptions {
@@ -104,6 +109,7 @@ impl Default for TracenetOptions {
             reuse_known_subnets: true,
             explore_off_path: true,
             heuristics: HeuristicSet::all(),
+            hop_fault_budget: None,
         }
     }
 }
@@ -150,5 +156,6 @@ mod tests {
         assert_eq!(o.max_ttl, 30);
         assert!(o.utilization_stop);
         assert!(o.explore_off_path);
+        assert!(o.hop_fault_budget.is_none(), "no abandonment bound by default");
     }
 }

@@ -27,6 +27,53 @@ impl PhaseCost {
     }
 }
 
+/// How trustworthy one hop's observations are under faults.
+///
+/// Ordered by severity so "worst of" is `Iterator::max`: a hop (or a
+/// whole report, via [`TraceReport::completeness`]) is only as good as
+/// its worst phase. Fault-free runs are always [`Completeness::Complete`]
+/// — the other variants appear only when the probing substrate reported
+/// fault-attributed timeouts (see `probe::ProbeStats::fault_timeouts`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Completeness {
+    /// No fault-attributed timeouts: the collected subnet is as complete
+    /// as the heuristics allow.
+    #[default]
+    Complete,
+    /// Some probes were lost to transient forward/reply loss or link
+    /// outages; members may be missing from the collected subnet.
+    DegradedByTimeout,
+    /// Some probes were silently eaten by a rate limiter; members may be
+    /// missing and re-running later may recover them.
+    DegradedByRateLimit,
+    /// The per-hop fault budget tripped: exploration was cut short and
+    /// the hop's subnet (if any) is a best-effort partial view.
+    Abandoned,
+}
+
+impl Completeness {
+    /// Whether any degradation was observed.
+    pub fn is_degraded(&self) -> bool {
+        *self != Completeness::Complete
+    }
+
+    /// A short lowercase label, stable for machine consumption.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Completeness::Complete => "complete",
+            Completeness::DegradedByTimeout => "degraded-by-timeout",
+            Completeness::DegradedByRateLimit => "degraded-by-rate-limit",
+            Completeness::Abandoned => "abandoned",
+        }
+    }
+}
+
+impl fmt::Display for Completeness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// What one hop of a tracenet session produced.
 #[derive(Clone, Debug)]
 pub struct HopRecord {
@@ -47,6 +94,9 @@ pub struct HopRecord {
     pub subnet: Option<ObservedSubnet>,
     /// Probe accounting for this hop.
     pub cost: PhaseCost,
+    /// How much the hop's observations suffered from injected or real
+    /// faults (always [`Completeness::Complete`] on a quiet network).
+    pub completeness: Completeness,
 }
 
 /// The full result of one tracenet session — the paper's "sequence of
@@ -65,6 +115,10 @@ pub struct TraceReport {
     pub total_probes: u64,
     /// Probes answered from the merge cache instead of the wire.
     pub cache_hits: u64,
+    /// The session died before producing a normal report (it panicked or
+    /// was isolated by a batch driver); the hops list is whatever was
+    /// salvaged, possibly empty.
+    pub aborted: bool,
 }
 
 impl TraceReport {
@@ -113,6 +167,16 @@ impl TraceReport {
         totals
     }
 
+    /// The report's overall completeness: [`Completeness::Abandoned`] if
+    /// the session itself was aborted, else the worst hop classification
+    /// ([`Completeness::Complete`] for an empty trace).
+    pub fn completeness(&self) -> Completeness {
+        if self.aborted {
+            return Completeness::Abandoned;
+        }
+        self.hops.iter().map(|h| h.completeness).max().unwrap_or_default()
+    }
+
     /// Trace addresses for which no subnet larger than a /32 singleton
     /// was found — Figure 7's "un-subnetized" population.
     pub fn unsubnetized_addresses(&self) -> BTreeSet<Addr> {
@@ -139,10 +203,16 @@ impl fmt::Display for TraceReport {
             if hop.cached && hop.subnet.is_some() {
                 write!(f, " [cached]")?;
             }
+            if hop.completeness.is_degraded() {
+                write!(f, " [{}]", hop.completeness)?;
+            }
             if hop.reached_destination {
                 write!(f, "  <- destination")?;
             }
             writeln!(f)?;
+        }
+        if self.aborted {
+            writeln!(f, "session aborted; results are partial")?;
         }
         writeln!(
             f,
@@ -208,6 +278,7 @@ mod tests {
                         "10.0.1.1",
                     )),
                     cost: PhaseCost { trace: 1, position: 3, explore: 4 },
+                    completeness: Completeness::Complete,
                 },
                 HopRecord {
                     hop: 2,
@@ -217,6 +288,7 @@ mod tests {
                     cached: false,
                     subnet: None,
                     cost: PhaseCost { trace: 2, position: 0, explore: 0 },
+                    completeness: Completeness::Complete,
                 },
                 HopRecord {
                     hop: 3,
@@ -226,10 +298,12 @@ mod tests {
                     cached: false,
                     subnet: Some(sample_subnet("10.0.9.8/31", &["10.0.9.9"], "10.0.9.9")),
                     cost: PhaseCost { trace: 1, position: 2, explore: 2 },
+                    completeness: Completeness::Complete,
                 },
             ],
             total_probes: 15,
             cache_hits: 4,
+            aborted: false,
         }
     }
 
@@ -273,5 +347,56 @@ mod tests {
         assert!(text.contains("  *"), "anonymous hop rendered as *");
         assert!(text.contains("<- destination"));
         assert!(text.contains("10.0.1.0/31"));
+    }
+
+    #[test]
+    fn completeness_is_the_worst_hop() {
+        let mut r = sample_report();
+        assert_eq!(r.completeness(), Completeness::Complete);
+        r.hops[0].completeness = Completeness::DegradedByTimeout;
+        assert_eq!(r.completeness(), Completeness::DegradedByTimeout);
+        r.hops[2].completeness = Completeness::DegradedByRateLimit;
+        assert_eq!(r.completeness(), Completeness::DegradedByRateLimit);
+        r.hops[1].completeness = Completeness::Abandoned;
+        assert_eq!(r.completeness(), Completeness::Abandoned);
+    }
+
+    #[test]
+    fn aborted_report_is_abandoned_regardless_of_hops() {
+        let mut r = sample_report();
+        r.aborted = true;
+        assert_eq!(r.completeness(), Completeness::Abandoned);
+    }
+
+    #[test]
+    fn degradation_markers_render_only_when_degraded() {
+        let clean = sample_report().to_string();
+        assert!(!clean.contains("degraded"), "{clean}");
+        assert!(!clean.contains("abandoned"), "{clean}");
+        assert!(!clean.contains("aborted"), "{clean}");
+
+        let mut r = sample_report();
+        r.hops[0].completeness = Completeness::DegradedByTimeout;
+        r.hops[2].completeness = Completeness::Abandoned;
+        r.aborted = true;
+        let text = r.to_string();
+        assert!(text.contains("[degraded-by-timeout]"), "{text}");
+        assert!(text.contains("[abandoned]"), "{text}");
+        assert!(text.contains("session aborted"), "{text}");
+    }
+
+    #[test]
+    fn completeness_labels_round_trip_severity_order() {
+        let order = [
+            Completeness::Complete,
+            Completeness::DegradedByTimeout,
+            Completeness::DegradedByRateLimit,
+            Completeness::Abandoned,
+        ];
+        for w in order.windows(2) {
+            assert!(w[0] < w[1], "{} < {}", w[0], w[1]);
+        }
+        assert!(!Completeness::Complete.is_degraded());
+        assert!(Completeness::Abandoned.is_degraded());
     }
 }

@@ -12,29 +12,32 @@ use std::sync::Arc;
 
 use inet::Addr;
 use obs::{CacheOutcome, Cause, Level, Phase, Recorder};
-use probe::{CachingProber, ProbeOutcome, Prober};
+use probe::{CachingProber, FaultBudgetProber, ProbeOutcome, ProbeStats, Prober};
 
 use crate::cache::{CacheLookup, SubnetStore};
 use crate::explore::explore;
 use crate::options::TracenetOptions;
 use crate::position::position;
-use crate::report::{HopRecord, PhaseCost, TraceReport};
+use crate::report::{Completeness, HopRecord, PhaseCost, TraceReport};
 
 /// A configured tracenet session over a borrowed prober.
 pub struct Session<P: Prober> {
-    prober: CachingProber<P>,
+    prober: CachingProber<FaultBudgetProber<P>>,
     opts: TracenetOptions,
     recorder: Recorder,
     store: Option<Arc<dyn SubnetStore>>,
 }
 
 impl<P: Prober> Session<P> {
-    /// Creates a session. The prober is wrapped in the probe-merging
-    /// cache (§3.5's merged-rule optimization); the cache is cleared at
-    /// every hop so stale answers never cross path-dynamics boundaries.
+    /// Creates a session. The prober is wrapped in a per-hop fault
+    /// budget ([`FaultBudgetProber`], governed by
+    /// `TracenetOptions::hop_fault_budget`) and the probe-merging cache
+    /// (§3.5's merged-rule optimization); the cache is cleared at every
+    /// hop so stale answers never cross path-dynamics boundaries.
     pub fn new(prober: P, opts: TracenetOptions) -> Session<P> {
+        let budget = opts.hop_fault_budget;
         Session {
-            prober: CachingProber::new(prober),
+            prober: CachingProber::new(FaultBudgetProber::new(prober, budget)),
             opts,
             recorder: Recorder::disabled(),
             store: None,
@@ -69,7 +72,9 @@ impl<P: Prober> Session<P> {
 
         for d in 1..=self.opts.max_ttl {
             self.prober.clear();
-            let sent_before = self.prober.stats().sent;
+            self.prober.inner_mut().start_hop();
+            let hop_before = self.prober.stats();
+            let sent_before = hop_before.sent;
             let _hop_span = obs::span!(Level::Debug, "hop", "d={d}");
 
             // --- Trace collection: one indirect probe at TTL d. --------
@@ -97,7 +102,9 @@ impl<P: Prober> Session<P> {
                 cached: false,
                 subnet: None,
                 cost: PhaseCost { trace: trace_cost, position: 0, explore: 0 },
+                completeness: Completeness::Complete,
             };
+            let mut admit = false;
 
             if let Some(v) = addr {
                 let known = self.opts.reuse_known_subnets
@@ -151,9 +158,19 @@ impl<P: Prober> Session<P> {
                             record.subnet = Some(subnet);
                         }
                     }
-                    if let Some(store) = &self.store {
-                        store.admit(prev_addr, v, d, record.subnet.as_ref());
-                    }
+                    admit = self.store.is_some();
+                }
+            }
+
+            // Classify the hop from the fault-attributed timeout deltas
+            // accumulated across all three phases, then admit to the
+            // cross-session store only when the hop is clean: a degraded
+            // observation must never be replayed into a healthy session.
+            let tripped = self.prober.inner().tripped();
+            record.completeness = classify(&hop_before, &self.prober.stats(), tripped);
+            if admit && record.completeness == Completeness::Complete {
+                if let (Some(store), Some(v)) = (&self.store, addr) {
+                    store.admit(prev_addr, v, d, record.subnet.as_ref());
                 }
             }
 
@@ -174,7 +191,24 @@ impl<P: Prober> Session<P> {
             hops,
             total_probes: stats.sent,
             cache_hits: self.prober.cache_hits(),
+            aborted: false,
         }
+    }
+}
+
+/// Grades one hop's observations from the fault-attributed timeout
+/// deltas it accrued. A tripped fault budget dominates; otherwise the
+/// worse of the two degradation causes wins (rate-limit silence outranks
+/// plain loss because backing off and re-running can recover it).
+fn classify(before: &ProbeStats, after: &ProbeStats, tripped: bool) -> Completeness {
+    if tripped {
+        Completeness::Abandoned
+    } else if after.timeouts_rate_limited > before.timeouts_rate_limited {
+        Completeness::DegradedByRateLimit
+    } else if after.timeouts_loss > before.timeouts_loss {
+        Completeness::DegradedByTimeout
+    } else {
+        Completeness::Complete
     }
 }
 
@@ -419,6 +453,134 @@ mod tests {
         assert!(report.destination_reached);
         assert!(report.hops.iter().all(|h| !h.repeated));
         assert!(report.hops[2].subnet.is_some(), "without reuse, hop 3 is explored");
+    }
+
+    #[test]
+    fn fault_free_hops_are_all_complete() {
+        let (topo, names) = samples::chain(3);
+        let mut net = Network::new(topo);
+        let mut prober = SimProber::new(&mut net, names.addr("vantage"));
+        let report = Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"));
+        assert!(report.hops.iter().all(|h| h.completeness == Completeness::Complete));
+        assert_eq!(report.completeness(), Completeness::Complete);
+        assert!(!report.aborted);
+    }
+
+    #[test]
+    fn total_reply_loss_with_a_budget_abandons_every_hop() {
+        use netsim::FaultPlan;
+        let (topo, names) = samples::chain(3);
+        let plan = FaultPlan { reply_loss: 1.0, ..FaultPlan::new(7) };
+        let mut net = Network::new(topo).with_fault_plan(plan);
+        let mut prober = SimProber::new(&mut net, names.addr("vantage"));
+        let opts =
+            TracenetOptions { max_ttl: 4, hop_fault_budget: Some(1), ..TracenetOptions::default() };
+        let report = Session::new(&mut prober, opts).run(names.addr("dest"));
+        assert!(!report.destination_reached);
+        assert!(report.hops.iter().all(|h| h.addr.is_none()));
+        assert!(report.hops.iter().all(|h| h.completeness == Completeness::Abandoned));
+        assert_eq!(report.completeness(), Completeness::Abandoned);
+    }
+
+    #[test]
+    fn total_reply_loss_without_a_budget_degrades_every_hop() {
+        use netsim::FaultPlan;
+        let (topo, names) = samples::chain(3);
+        let plan = FaultPlan { reply_loss: 1.0, ..FaultPlan::new(7) };
+        let mut net = Network::new(topo).with_fault_plan(plan);
+        let mut prober = SimProber::new(&mut net, names.addr("vantage"));
+        let opts = TracenetOptions { max_ttl: 4, ..TracenetOptions::default() };
+        let report = Session::new(&mut prober, opts).run(names.addr("dest"));
+        assert!(report.hops.iter().all(|h| h.completeness == Completeness::DegradedByTimeout));
+        assert_eq!(report.completeness(), Completeness::DegradedByTimeout);
+    }
+
+    #[test]
+    fn lossy_session_discovers_a_sound_subset() {
+        use netsim::FaultPlan;
+        let (topo, names) = samples::chain(3);
+        let clean = {
+            let mut net = Network::new(topo.clone());
+            let mut prober = SimProber::new(&mut net, names.addr("vantage"));
+            Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"))
+        };
+        let plan = FaultPlan { reply_loss: 0.3, forward_loss: 0.2, ..FaultPlan::new(2010) };
+        let mut net = Network::new(topo).with_fault_plan(plan);
+        let mut prober = SimProber::new(&mut net, names.addr("vantage"));
+        let opts = TracenetOptions { hop_fault_budget: Some(8), ..TracenetOptions::default() };
+        let lossy = Session::new(&mut prober, opts).run(names.addr("dest"));
+        // Faults only remove observations, never invent them.
+        assert!(
+            lossy.all_addresses().is_subset(&clean.all_addresses()),
+            "lossy run invented addresses: {:?} vs {:?}",
+            lossy.all_addresses(),
+            clean.all_addresses(),
+        );
+    }
+
+    #[test]
+    fn degraded_hops_are_not_admitted_to_the_subnet_store() {
+        use crate::cache::{CacheLookup, SubnetStore};
+        use crate::observed::ObservedSubnet;
+        use netsim::FaultPlan;
+        use std::collections::BTreeMap;
+        use std::sync::Mutex;
+
+        type HopKey = (Option<Addr>, Addr, u8);
+
+        #[derive(Default)]
+        struct MapStore {
+            map: Mutex<BTreeMap<HopKey, Option<ObservedSubnet>>>,
+        }
+        impl SubnetStore for MapStore {
+            fn lookup(&self, prev: Option<Addr>, v: Addr, d: u8) -> CacheLookup {
+                match self.map.lock().unwrap().get(&(prev, v, d)) {
+                    Some(outcome) => CacheLookup::Hit(outcome.clone()),
+                    None => CacheLookup::Miss,
+                }
+            }
+            fn admit(&self, prev: Option<Addr>, v: Addr, d: u8, outcome: Option<&ObservedSubnet>) {
+                self.map.lock().unwrap().insert((prev, v, d), outcome.cloned());
+            }
+        }
+
+        let (topo, names) = samples::chain(2);
+        let store = Arc::new(MapStore::default());
+
+        // A heavily lossy session: every hop it manages to resolve is
+        // degraded, so nothing may enter the store.
+        let plan = FaultPlan { reply_loss: 0.6, ..FaultPlan::new(11) };
+        let mut net = Network::new(topo.clone()).with_fault_plan(plan);
+        let mut prober = SimProber::new(&mut net, names.addr("vantage"));
+        let faulty = Session::new(&mut prober, TracenetOptions::default())
+            .with_subnet_store(store.clone())
+            .run(names.addr("dest"));
+        for hop in &faulty.hops {
+            if hop.completeness.is_degraded() {
+                let key = hop.addr;
+                if let Some(v) = key {
+                    assert!(
+                        !store.map.lock().unwrap().keys().any(|(_, a, _)| *a == v),
+                        "degraded hop {v} leaked into the store"
+                    );
+                }
+            }
+        }
+
+        // A later fault-free session over the same store must produce
+        // exactly what a store-less clean session produces: the store
+        // never replays degraded observations.
+        let mut net = Network::new(topo.clone());
+        let mut prober = SimProber::new(&mut net, names.addr("vantage"));
+        let warm = Session::new(&mut prober, TracenetOptions::default())
+            .with_subnet_store(store)
+            .run(names.addr("dest"));
+        let mut net = Network::new(topo);
+        let mut prober = SimProber::new(&mut net, names.addr("vantage"));
+        let reference =
+            Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"));
+        assert_eq!(warm.all_addresses(), reference.all_addresses());
+        assert_eq!(warm.completeness(), Completeness::Complete);
     }
 
     #[test]

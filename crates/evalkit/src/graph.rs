@@ -203,6 +203,7 @@ mod tests {
             cached: false,
             subnet: sn,
             cost: PhaseCost::default(),
+            completeness: tracenet::Completeness::Complete,
         };
         let report = TraceReport {
             vantage: a("10.0.0.0"),
@@ -215,6 +216,7 @@ mod tests {
             ],
             total_probes: 0,
             cache_hits: 0,
+            aborted: false,
         };
         let mut g = SubnetGraph::new();
         g.add_report(&report);

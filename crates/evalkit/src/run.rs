@@ -138,7 +138,8 @@ pub fn run_tracenet_with(
     opts: &TracenetOptions,
     recorder: &obs::Recorder,
 ) -> CollectedSet {
-    let cfg = BatchConfig { jobs: 1, use_cache: false, protocol, opts: *opts };
+    let cfg =
+        BatchConfig { jobs: 1, use_cache: false, protocol, opts: *opts, ..BatchConfig::default() };
     CollectedSet::from_batch(&sweep::run_batch_seq(net, vantage, targets, &cfg, recorder))
 }
 

@@ -30,6 +30,7 @@ use inet::Addr;
 use wire::{builder, IcmpMessage, Packet, Payload, UnreachableCode};
 
 use crate::events::{Event, SilenceReason};
+use crate::fault::FaultPlan;
 use crate::policy::{LbMode, ResponsePolicy};
 use crate::routing::RoutingTable;
 use crate::topology::{RouterId, SubnetId, Topology};
@@ -83,6 +84,9 @@ pub struct Network {
     rr: Vec<u64>,
     fluctuation_period: Option<u64>,
     trace: Option<Vec<Event>>,
+    fault: Option<FaultPlan>,
+    /// Per-router `(storm window id, replies used)` counters.
+    storm_counts: Vec<(u64, u32)>,
 }
 
 impl Network {
@@ -98,7 +102,35 @@ impl Network {
             rr: vec![0; n],
             fluctuation_period: None,
             trace: None,
+            fault: None,
+            storm_counts: vec![(0, 0); n],
         }
+    }
+
+    /// Installs a seeded fault plan (builder form). A zero plan (see
+    /// [`FaultPlan::is_zero`]) leaves behavior bit-identical to no plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Network {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Installs or clears the fault plan at runtime.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault
+    }
+
+    /// Advances the engine clock by `ticks` without injecting anything —
+    /// idle time, as spent by backoff delays between retries. Rate-limit
+    /// buckets refill naturally because refills are computed from tick
+    /// deltas, and scheduled faults (flaps, storms, withdrawals) move
+    /// along with the clock.
+    pub fn advance(&mut self, ticks: u64) {
+        self.tick += ticks;
     }
 
     /// Enables path fluctuations: every `period` injected packets the ECMP
@@ -173,6 +205,14 @@ impl Network {
             probe.header.protocol
         );
         let verdict = self.walk(probe);
+        // Reverse-path loss: the reply was generated (tokens spent, trace
+        // logged) but never makes it back to the caller.
+        let verdict = match verdict {
+            Verdict::Reply(_) if self.fault.is_some_and(|plan| plan.drops_reply(self.tick)) => {
+                Verdict::Silent(SilenceReason::ReplyLoss)
+            }
+            v => v,
+        };
         if let Verdict::Silent(reason) = &verdict {
             self.log(Event::Dropped { reason: *reason });
         }
@@ -268,7 +308,7 @@ impl Network {
             }
 
             // 3. Forward.
-            let hops = match target_router {
+            let mut hops = match target_router {
                 Some(tr) => self.routing.next_hops(&self.topo, current, tr),
                 None => match self.routing.nearest(current, subnet_routers.iter().copied()) {
                     Some((nearest, _)) => self.routing.next_hops(&self.topo, current, nearest),
@@ -278,7 +318,19 @@ impl Network {
             if hops.is_empty() {
                 return Verdict::Silent(SilenceReason::NoRoute);
             }
+            if let Some(plan) = self.fault {
+                let tick = self.tick;
+                hops.retain(|&(_, sn)| !plan.link_down(tick, sn));
+                if hops.is_empty() {
+                    return Verdict::Silent(SilenceReason::LinkDown);
+                }
+            }
             let (next, via) = self.choose(current, &hops, flow);
+            if let Some(plan) = self.fault {
+                if plan.drops_forward(self.tick, step as u64, via, current) {
+                    return Verdict::Silent(SilenceReason::ForwardLoss);
+                }
+            }
             self.log(Event::Forwarded { from: current, to: next });
             current = next;
             prev_subnet = Some(via);
@@ -442,7 +494,21 @@ impl Network {
     }
 
     /// Consumes one rate-limit token at `at`, if a limiter is configured.
+    /// During a fault-plan storm window the router is additionally capped
+    /// to the storm's per-window reply budget.
     fn take_token(&mut self, at: RouterId) -> bool {
+        if let Some(plan) = self.fault {
+            if let Some((window, capacity)) = plan.storm_window(self.tick, at) {
+                let slot = &mut self.storm_counts[at.0 as usize];
+                if slot.0 != window {
+                    *slot = (window, 0);
+                }
+                if slot.1 >= capacity {
+                    return false;
+                }
+                slot.1 += 1;
+            }
+        }
         let Some(rl) = self.topo.router(at).config.rate_limit else {
             return true;
         };
@@ -838,6 +904,59 @@ mod tests {
             trace.iter().filter(|e| matches!(e, Event::Forwarded { .. })).count() >= 2,
             "walk should log forwarding steps"
         );
+    }
+
+    #[test]
+    fn zero_fault_plan_is_invisible() {
+        use crate::fault::FaultPlan;
+        let (mut plain, v, d) = chain_net();
+        let (topo, _) = samples::chain(3);
+        let mut faulted = Network::new(topo).with_fault_plan(FaultPlan::new(42));
+        for ttl in 1..=6u8 {
+            let probe = icmp_probe(v, d, ttl, 1, ttl as u16);
+            assert_eq!(plain.inject(&probe), faulted.inject(&probe), "ttl {ttl}");
+        }
+        assert_eq!(plain.tick(), faulted.tick());
+    }
+
+    #[test]
+    fn total_reply_loss_surfaces_as_reply_loss() {
+        let (mut net, v, d) = chain_net();
+        let mut plan = crate::fault::FaultPlan::new(3);
+        plan.reply_loss = 1.0;
+        net.set_fault_plan(Some(plan));
+        let verdict = net.inject(&icmp_probe(v, d, 64, 1, 1));
+        assert_eq!(verdict.silence(), Some(SilenceReason::ReplyLoss));
+    }
+
+    #[test]
+    fn withdrawn_links_drop_probes_as_link_down() {
+        let (mut net, v, d) = chain_net();
+        let mut plan = crate::fault::FaultPlan::new(3);
+        plan.withdraw_fraction = 1.0;
+        plan.withdraw_at = 3;
+        net.set_fault_plan(Some(plan));
+        assert!(net.inject(&icmp_probe(v, d, 64, 1, 1)).reply().is_some());
+        net.advance(10);
+        let verdict = net.inject(&icmp_probe(v, d, 64, 1, 2));
+        assert_eq!(verdict.silence(), Some(SilenceReason::LinkDown));
+    }
+
+    #[test]
+    fn storm_caps_replies_and_lets_the_window_pass() {
+        use crate::fault::{FaultPlan, RateStorm};
+        let (mut net, v, d) = chain_net();
+        let mut plan = FaultPlan::new(9);
+        plan.storm =
+            Some(RateStorm { period: 1000, active: 500, capacity: 2, router_fraction: 1.0 });
+        net.set_fault_plan(Some(plan));
+        let probe = icmp_probe(v, d, 64, 1, 1);
+        assert!(net.inject(&probe).reply().is_some());
+        assert!(net.inject(&probe).reply().is_some());
+        assert_eq!(net.inject(&probe).silence(), Some(SilenceReason::RateLimited));
+        // Outside the active window the cap is gone.
+        net.advance(600);
+        assert!(net.inject(&probe).reply().is_some());
     }
 
     #[test]

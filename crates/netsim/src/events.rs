@@ -30,6 +30,15 @@ pub enum SilenceReason {
     RateLimited,
     /// The packet could not be decoded as a supported probe.
     Malformed,
+    /// An injected fault dropped the packet on the forward path
+    /// (transient per-link or per-router loss from the fault plan).
+    ForwardLoss,
+    /// A reply was generated but an injected fault lost it on the
+    /// reverse path.
+    ReplyLoss,
+    /// Every candidate next hop was on a link the fault plan holds down
+    /// (flap or withdrawal).
+    LinkDown,
 }
 
 /// One step in a packet's walk through the network.

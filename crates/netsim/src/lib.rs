@@ -21,6 +21,10 @@
 //!   firewalls (§4's unresponsive and partially-unresponsive subnets).
 //! * **Dynamics** (`engine`): per-flow and per-packet load balancing over
 //!   ECMP sets and scheduled path fluctuations (§3.7).
+//! * **Fault injection** (`fault`): a seeded [`FaultPlan`] over the
+//!   engine's probe-tick clock — transient forward/reply loss, link
+//!   flaps, rate-limit storms and mid-run route withdrawals — replayable
+//!   from the seed and composable with the response policies.
 //! * **Samples** (`samples`): ready-made topologies, including the paper's
 //!   Figure 2 and Figure 3 networks, reused by tests, examples and
 //!   documentation across the workspace.
@@ -51,6 +55,7 @@
 
 mod engine;
 mod events;
+mod fault;
 mod policy;
 mod routing;
 pub mod samples;
@@ -58,6 +63,7 @@ mod topology;
 
 pub use engine::{Network, Verdict};
 pub use events::{Event, SilenceReason};
+pub use fault::{FaultPlan, FaultProfile, RateStorm};
 pub use policy::{LbMode, ProtoSet, RateLimit, ResponsePolicy, RouterConfig};
 pub use routing::{RoutingTable, UNREACHABLE};
 pub use topology::{

@@ -215,6 +215,99 @@ impl fmt::Display for Outcome {
     }
 }
 
+/// Why a timed-out attempt drew no (accepted) reply, when the prober can
+/// tell. Mirrors the simulator's silence reasons plus [`StrayReply`]
+/// (a reply arrived but failed validation). Live probers that cannot see
+/// into the network leave it unset.
+///
+/// [`StrayReply`]: TimeoutCause::StrayReply
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TimeoutCause {
+    /// The probe's source address is unknown to the network.
+    UnknownSource,
+    /// No route covered the destination.
+    NoRoute,
+    /// A filtering firewall swallowed the probe.
+    Filtered,
+    /// Delivered to an unassigned address; no unreachable configured.
+    Unassigned,
+    /// Delivered but the owner's response policy stayed silent.
+    PolicySilence,
+    /// TTL expired at a router that does not answer for this protocol.
+    TtlExpiredSilently,
+    /// A reply was due but the router's rate limiter had no token.
+    RateLimited,
+    /// The probe could not be decoded on the wire.
+    Malformed,
+    /// An injected fault dropped the probe on the forward path.
+    ForwardLoss,
+    /// An injected fault lost the reply on the reverse path.
+    ReplyLoss,
+    /// Every next-hop link was down (flap or withdrawal).
+    LinkDown,
+    /// A reply came back but was rejected by probe validation.
+    StrayReply,
+}
+
+impl TimeoutCause {
+    /// Every cause, in declaration order.
+    pub const ALL: [TimeoutCause; 12] = [
+        TimeoutCause::UnknownSource,
+        TimeoutCause::NoRoute,
+        TimeoutCause::Filtered,
+        TimeoutCause::Unassigned,
+        TimeoutCause::PolicySilence,
+        TimeoutCause::TtlExpiredSilently,
+        TimeoutCause::RateLimited,
+        TimeoutCause::Malformed,
+        TimeoutCause::ForwardLoss,
+        TimeoutCause::ReplyLoss,
+        TimeoutCause::LinkDown,
+        TimeoutCause::StrayReply,
+    ];
+
+    /// Stable snake_case label used in JSON and metrics keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            TimeoutCause::UnknownSource => "unknown_source",
+            TimeoutCause::NoRoute => "no_route",
+            TimeoutCause::Filtered => "filtered",
+            TimeoutCause::Unassigned => "unassigned",
+            TimeoutCause::PolicySilence => "policy_silence",
+            TimeoutCause::TtlExpiredSilently => "ttl_expired_silently",
+            TimeoutCause::RateLimited => "rate_limited",
+            TimeoutCause::Malformed => "malformed",
+            TimeoutCause::ForwardLoss => "forward_loss",
+            TimeoutCause::ReplyLoss => "reply_loss",
+            TimeoutCause::LinkDown => "link_down",
+            TimeoutCause::StrayReply => "stray_reply",
+        }
+    }
+
+    /// Parses a [`TimeoutCause::label`] rendering.
+    pub fn from_label(s: &str) -> Option<TimeoutCause> {
+        TimeoutCause::ALL.into_iter().find(|c| c.label() == s)
+    }
+
+    /// Whether this cause is an injected transient fault (loss or a link
+    /// held down) rather than a steady-state property of the topology.
+    /// These are the causes that degrade a hop's completeness and feed
+    /// the adaptive retry signal.
+    pub fn is_fault(self) -> bool {
+        matches!(self, TimeoutCause::ForwardLoss | TimeoutCause::ReplyLoss | TimeoutCause::LinkDown)
+    }
+
+    pub(crate) fn index(self) -> usize {
+        TimeoutCause::ALL.iter().position(|c| *c == self).expect("cause is in ALL")
+    }
+}
+
+impl fmt::Display for TimeoutCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One packet put on the wire, with full attribution. This is the unit
 /// of the JSONL probe log and the input to the metrics registry.
 #[derive(Clone, Debug, PartialEq)]
@@ -243,6 +336,9 @@ pub struct ProbeEvent {
     pub phase: Option<Phase>,
     /// Originating algorithm step or heuristic, if attributed.
     pub cause: Option<Cause>,
+    /// Why a [`Outcome::Timeout`] attempt drew nothing, when known.
+    /// `None` for replies and for probers that cannot attribute silence.
+    pub timeout_cause: Option<TimeoutCause>,
 }
 
 fn protocol_label(p: Protocol) -> &'static str {
@@ -278,6 +374,7 @@ impl ProbeEvent {
             "from": self.from.map(|a| a.to_string()),
             "phase": self.phase.map(Phase::label),
             "cause": self.cause.map(Cause::label),
+            "timeout_cause": self.timeout_cause.map(TimeoutCause::label),
         })
     }
 
@@ -318,6 +415,14 @@ impl ProbeEvent {
                     .ok_or_else(|| format!("cause: unknown value {c}"))?,
             ),
         };
+        let timeout_cause = match &v["timeout_cause"] {
+            Value::Null => None,
+            c => Some(
+                c.as_str()
+                    .and_then(TimeoutCause::from_label)
+                    .ok_or_else(|| format!("timeout_cause: unknown value {c}"))?,
+            ),
+        };
         let from = match &v["from"] {
             Value::Null => None,
             f => Some(addr(f, "from")?),
@@ -336,6 +441,7 @@ impl ProbeEvent {
             from,
             phase,
             cause,
+            timeout_cause,
         })
     }
 }
@@ -357,6 +463,7 @@ mod tests {
             from: Some("10.0.3.1".parse().unwrap()),
             phase: Some(Phase::Explore),
             cause: Some(Cause::H4),
+            timeout_cause: None,
         }
     }
 
@@ -367,6 +474,21 @@ mod tests {
 
         let bare = ProbeEvent { from: None, phase: None, cause: None, ..sample() };
         assert_eq!(ProbeEvent::from_json(&bare.to_json()).unwrap(), bare);
+
+        let timed_out = ProbeEvent {
+            outcome: Outcome::Timeout,
+            from: None,
+            timeout_cause: Some(TimeoutCause::RateLimited),
+            ..sample()
+        };
+        assert_eq!(ProbeEvent::from_json(&timed_out.to_json()).unwrap(), timed_out);
+
+        // Logs written before timeout causes existed parse as unattributed.
+        let mut legacy = sample().to_json();
+        if let Value::Object(fields) = &mut legacy {
+            fields.retain(|(k, _)| k != "timeout_cause");
+        }
+        assert_eq!(ProbeEvent::from_json(&legacy).unwrap().timeout_cause, None);
     }
 
     #[test]
@@ -382,6 +504,10 @@ mod tests {
         let mut v = sample().to_json();
         v["phase"] = serde_json::json!("warp");
         assert!(ProbeEvent::from_json(&v).unwrap_err().contains("phase"));
+
+        let mut v = sample().to_json();
+        v["timeout_cause"] = serde_json::json!("gremlins");
+        assert!(ProbeEvent::from_json(&v).unwrap_err().contains("timeout_cause"));
     }
 
     #[test]
@@ -395,7 +521,14 @@ mod tests {
         for o in Outcome::ALL {
             assert_eq!(Outcome::from_label(o.label()), Some(o));
         }
+        for t in TimeoutCause::ALL {
+            assert_eq!(TimeoutCause::from_label(t.label()), Some(t));
+        }
         assert_eq!(Cause::H7.heuristic(), Some(7));
         assert_eq!(Cause::IngressQuery.heuristic(), None);
+        assert!(TimeoutCause::ForwardLoss.is_fault());
+        assert!(TimeoutCause::LinkDown.is_fault());
+        assert!(!TimeoutCause::RateLimited.is_fault());
+        assert!(!TimeoutCause::PolicySilence.is_fault());
     }
 }

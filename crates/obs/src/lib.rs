@@ -38,7 +38,7 @@ pub mod sink;
 pub mod trace;
 
 pub use ctx::{cause_scope, phase_scope};
-pub use event::{Cause, Outcome, Phase, ProbeEvent};
+pub use event::{Cause, Outcome, Phase, ProbeEvent, TimeoutCause};
 pub use metrics::{CacheOutcome, MetricsSnapshot, Registry};
 pub use recorder::Recorder;
 pub use sink::{EventSink, JsonlSink, NullSink, SinkHandle, VecSink};

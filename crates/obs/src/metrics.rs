@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde_json::{json, Value};
 
-use crate::event::{Cause, Outcome, Phase, ProbeEvent};
+use crate::event::{Cause, Outcome, Phase, ProbeEvent, TimeoutCause};
 
 /// Number of phase slots: the three pipeline phases plus one for
 /// probes sent outside any phase scope.
@@ -19,6 +19,7 @@ const PHASES: usize = Phase::ALL.len() + 1;
 const UNATTRIBUTED: usize = Phase::ALL.len();
 const CAUSES: usize = Cause::ALL.len();
 const OUTCOMES: usize = Outcome::ALL.len();
+const TIMEOUT_CAUSES: usize = TimeoutCause::ALL.len();
 
 /// TTL histogram buckets: `[1, 2), [2, 4), [4, 8), [8, 16), [16, 32),
 /// [32, 64), [64, 256]`. Upper bounds, inclusive-exclusive except the
@@ -100,6 +101,8 @@ pub struct Registry {
     hop_cost_hist: [AtomicU64; HOP_COST_BUCKETS.len() + 1],
     /// Cross-session subnet-cache lookups by outcome (hit/skip/miss).
     cache: [AtomicU64; CacheOutcome::ALL.len()],
+    /// Timed-out attempts by attributed silence cause.
+    timeout_causes: [AtomicU64; TIMEOUT_CAUSES],
 }
 
 impl Registry {
@@ -119,6 +122,9 @@ impl Registry {
         self.outcomes[slot][event.outcome.index()].fetch_add(1, Ordering::Relaxed);
         if let Some(cause) = event.cause {
             self.by_cause[cause.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(cause) = event.timeout_cause {
+            self.timeout_causes[cause.index()].fetch_add(1, Ordering::Relaxed);
         }
         self.ttl_hist[ttl_bucket(event.ttl)].fetch_add(1, Ordering::Relaxed);
     }
@@ -154,6 +160,11 @@ impl Registry {
         self.by_cause[cause.index()].load(Ordering::Relaxed)
     }
 
+    /// Timed-out attempts attributed to `cause` so far.
+    pub fn timeouts_for(&self, cause: TimeoutCause) -> u64 {
+        self.timeout_causes[cause.index()].load(Ordering::Relaxed)
+    }
+
     /// Total wire sends across every phase slot.
     pub fn sent_total(&self) -> u64 {
         self.sent.iter().map(|c| c.load(Ordering::Relaxed)).sum()
@@ -170,6 +181,7 @@ impl Registry {
             ttl_hist: std::array::from_fn(|i| load(&self.ttl_hist[i])),
             hop_cost_hist: std::array::from_fn(|i| load(&self.hop_cost_hist[i])),
             cache: std::array::from_fn(|i| load(&self.cache[i])),
+            timeout_causes: std::array::from_fn(|i| load(&self.timeout_causes[i])),
         }
     }
 }
@@ -185,6 +197,7 @@ pub struct MetricsSnapshot {
     ttl_hist: [u64; TTL_BUCKETS.len()],
     hop_cost_hist: [u64; HOP_COST_BUCKETS.len() + 1],
     cache: [u64; CacheOutcome::ALL.len()],
+    timeout_causes: [u64; TIMEOUT_CAUSES],
 }
 
 impl MetricsSnapshot {
@@ -210,6 +223,16 @@ impl MetricsSnapshot {
     /// Wire sends attributed to `cause`.
     pub fn sent_for(&self, cause: Cause) -> u64 {
         self.by_cause[cause.index()]
+    }
+
+    /// Timed-out attempts attributed to `cause`.
+    pub fn timeouts_for(&self, cause: TimeoutCause) -> u64 {
+        self.timeout_causes[cause.index()]
+    }
+
+    /// Total attributed timeouts.
+    pub fn timeouts_attributed(&self) -> u64 {
+        self.timeout_causes.iter().sum()
     }
 
     /// Total wire sends across every phase slot.
@@ -263,6 +286,17 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "\n{:<18} {:>8}", "cause", "probes");
             for (cause, n) in attributed {
                 let _ = writeln!(out, "{:<18} {:>8}", cause.label(), n);
+            }
+        }
+        let attributed_timeouts: Vec<(TimeoutCause, u64)> = TimeoutCause::ALL
+            .into_iter()
+            .map(|c| (c, self.timeout_causes[c.index()]))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        if !attributed_timeouts.is_empty() {
+            let _ = writeln!(out, "\n{:<22} {:>8}", "timeout cause", "count");
+            for (cause, n) in attributed_timeouts {
+                let _ = writeln!(out, "{:<22} {:>8}", cause.label(), n);
             }
         }
         if self.cache_lookups() > 0 {
@@ -333,6 +367,13 @@ impl MetricsSnapshot {
                 .map(|o| (o.label().to_string(), json!(self.cache_count(o))))
                 .collect(),
         );
+        let timeout_causes = Value::Object(
+            TimeoutCause::ALL
+                .into_iter()
+                .filter(|c| self.timeout_causes[c.index()] > 0)
+                .map(|c| (c.label().to_string(), json!(self.timeout_causes[c.index()])))
+                .collect(),
+        );
         json!({
             "total_sent": self.sent_total(),
             "phases": Value::Object(phases),
@@ -340,6 +381,7 @@ impl MetricsSnapshot {
             "ttl_histogram": ttl_hist,
             "hop_cost_histogram": hop_hist,
             "cache": cache,
+            "timeout_causes": timeout_causes,
         })
     }
 }
@@ -362,6 +404,7 @@ mod tests {
             from: None,
             phase,
             cause,
+            timeout_cause: if attempt > 0 { Some(TimeoutCause::PolicySilence) } else { None },
         }
     }
 
@@ -384,6 +427,26 @@ mod tests {
         assert_eq!(snap.retries_in(Phase::Trace), 1);
         assert_eq!(snap.outcome_in(Phase::Trace, Outcome::Timeout), 1);
         assert_eq!(snap.outcome_in(Phase::Trace, Outcome::DirectReply), 1);
+    }
+
+    #[test]
+    fn timeout_causes_accumulate_and_render() {
+        let reg = Registry::new();
+        reg.record(&ev(Some(Phase::Trace), None, 3, 1));
+        let mut lost = ev(Some(Phase::Explore), None, 5, 0);
+        lost.outcome = Outcome::Timeout;
+        lost.timeout_cause = Some(TimeoutCause::ForwardLoss);
+        reg.record(&lost);
+        assert_eq!(reg.timeouts_for(TimeoutCause::PolicySilence), 1);
+        assert_eq!(reg.timeouts_for(TimeoutCause::ForwardLoss), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.timeouts_attributed(), 2);
+        let table = snap.render_table();
+        assert!(table.contains("timeout cause"), "{table}");
+        assert!(table.contains("forward_loss"), "{table}");
+        let v = snap.to_json();
+        assert_eq!(v["timeout_causes"]["forward_loss"], 1u64);
+        assert!(v["timeout_causes"]["link_down"].is_null(), "zero causes omitted");
     }
 
     #[test]

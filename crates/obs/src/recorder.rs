@@ -118,6 +118,7 @@ mod tests {
             from: None,
             phase: None,
             cause: None,
+            timeout_cause: None,
         }
     }
 

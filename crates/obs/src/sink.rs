@@ -180,6 +180,7 @@ mod tests {
             from: None,
             phase: Some(Phase::Trace),
             cause: None,
+            timeout_cause: None,
         }
     }
 

@@ -1,0 +1,155 @@
+//! [`FaultBudgetProber`]: bounded probe spend on faulty hops.
+//!
+//! When transient loss or a rate-limit storm makes a hop unresponsive,
+//! the exploration heuristics would keep burning probes into the void —
+//! every candidate address times out through its full retry budget. This
+//! middleware watches the inner prober's fault-attributed timeout
+//! counters ([`ProbeStats::fault_timeouts`]) and, once a per-hop budget
+//! is exhausted, short-circuits every further probe of the hop to
+//! [`ProbeOutcome::Timeout`] without touching the wire. The session
+//! notices the trip, marks the hop abandoned, and moves on.
+//!
+//! Short-circuited probes are invisible in [`ProbeStats`] — they are not
+//! requests, sends or timeouts — so probe accounting keeps describing
+//! real wire traffic.
+
+use inet::Addr;
+use wire::Protocol;
+
+use crate::outcome::ProbeOutcome;
+use crate::prober::{ProbeStats, Prober};
+
+/// A prober wrapper that abandons a hop after a bounded number of
+/// fault-attributed timeouts. With no budget (`None`) it is a
+/// transparent pass-through.
+pub struct FaultBudgetProber<P> {
+    inner: P,
+    budget: Option<u16>,
+    hop_base: u64,
+}
+
+impl<P: Prober> FaultBudgetProber<P> {
+    /// Wraps `inner`; `budget` is the number of fault-attributed
+    /// timeouts tolerated per hop before the hop is abandoned.
+    pub fn new(inner: P, budget: Option<u16>) -> FaultBudgetProber<P> {
+        let hop_base = inner.stats().fault_timeouts();
+        FaultBudgetProber { inner, budget, hop_base }
+    }
+
+    /// Resets the per-hop fault accounting; the session calls this when
+    /// it starts working on a new hop.
+    pub fn start_hop(&mut self) {
+        self.hop_base = self.inner.stats().fault_timeouts();
+    }
+
+    /// Whether the current hop has exhausted its fault budget.
+    pub fn tripped(&self) -> bool {
+        match self.budget {
+            Some(b) => self.inner.stats().fault_timeouts() - self.hop_base >= b as u64,
+            None => false,
+        }
+    }
+
+    /// The wrapped prober.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Unwraps the inner prober.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: Prober> Prober for FaultBudgetProber<P> {
+    fn src(&self) -> Addr {
+        self.inner.src()
+    }
+
+    fn protocol(&self) -> Protocol {
+        self.inner.protocol()
+    }
+
+    fn probe_with_flow(&mut self, dst: Addr, ttl: u8, flow: u16) -> ProbeOutcome {
+        if self.tripped() {
+            return ProbeOutcome::Timeout;
+        }
+        self.inner.probe_with_flow(dst, ttl, flow)
+    }
+
+    fn stats(&self) -> ProbeStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scripted::ScriptedProber;
+
+    fn target() -> Addr {
+        "10.0.0.9".parse().unwrap()
+    }
+
+    #[test]
+    fn no_budget_is_a_pass_through() {
+        let mut inner = ScriptedProber::new("10.0.0.1".parse().unwrap());
+        inner.script(target(), 3, ProbeOutcome::DirectReply { from: target() });
+        let mut p = FaultBudgetProber::new(inner, None);
+        assert_eq!(p.probe(target(), 3), ProbeOutcome::DirectReply { from: target() });
+        assert!(!p.tripped());
+        assert_eq!(p.stats().requests, 1);
+    }
+
+    /// A prober whose every probe is a fault-attributed timeout.
+    struct AlwaysLost {
+        stats: ProbeStats,
+    }
+
+    impl Prober for AlwaysLost {
+        fn src(&self) -> Addr {
+            "10.0.0.1".parse().unwrap()
+        }
+
+        fn protocol(&self) -> Protocol {
+            Protocol::Icmp
+        }
+
+        fn probe_with_flow(&mut self, _dst: Addr, _ttl: u8, _flow: u16) -> ProbeOutcome {
+            self.stats.requests += 1;
+            self.stats.sent += 1;
+            self.stats.timeouts += 1;
+            self.stats.timeouts_loss += 1;
+            ProbeOutcome::Timeout
+        }
+
+        fn stats(&self) -> ProbeStats {
+            self.stats
+        }
+    }
+
+    #[test]
+    fn budget_trips_and_stops_wire_traffic() {
+        let mut p = FaultBudgetProber::new(AlwaysLost { stats: ProbeStats::default() }, Some(3));
+        for _ in 0..10 {
+            assert_eq!(p.probe(target(), 1), ProbeOutcome::Timeout);
+        }
+        assert!(p.tripped());
+        // Only the three budgeted probes hit the wire; the rest were
+        // short-circuited without touching the stats.
+        assert_eq!(p.stats().sent, 3);
+        assert_eq!(p.stats().timeouts, 3);
+    }
+
+    #[test]
+    fn start_hop_resets_the_budget() {
+        let mut p = FaultBudgetProber::new(AlwaysLost { stats: ProbeStats::default() }, Some(2));
+        let _ = p.probe(target(), 1);
+        let _ = p.probe(target(), 1);
+        assert!(p.tripped());
+        p.start_hop();
+        assert!(!p.tripped());
+        let _ = p.probe(target(), 1);
+        assert_eq!(p.stats().sent, 3);
+    }
+}

@@ -52,6 +52,12 @@ impl<P: Prober> CachingProber<P> {
     pub fn inner(&self) -> &P {
         &self.inner
     }
+
+    /// Mutable access to the inner prober — used by sessions to drive
+    /// wrapper state (e.g. per-hop fault budgets) through the cache.
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
 }
 
 impl<P: Prober> Prober for CachingProber<P> {

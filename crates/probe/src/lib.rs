@@ -28,16 +28,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod cache;
 mod outcome;
 mod prober;
+mod retry;
 mod scripted;
 mod shared;
 mod sim;
 
+pub use budget::FaultBudgetProber;
 pub use cache::CachingProber;
 pub use outcome::{ProbeOutcome, UnreachKind};
 pub use prober::{FlowMode, ProbeStats, Prober};
+pub use retry::{RetryPolicy, DEFAULT_RETRIES};
 pub use scripted::ScriptedProber;
 pub use shared::{SharedNetwork, SharedSimProber};
 pub use sim::SimProber;

@@ -1,6 +1,7 @@
 //! The [`Prober`] trait and probe accounting.
 
 use inet::Addr;
+use obs::TimeoutCause;
 use wire::Protocol;
 
 use crate::outcome::ProbeOutcome;
@@ -40,16 +41,40 @@ pub struct ProbeStats {
     pub unreachable: u64,
     /// Probes that ended in timeout after all retries.
     pub timeouts: u64,
+    /// Final timeouts attributed to injected transient loss (forward
+    /// loss, reply loss, a link held down). Subset of `timeouts`.
+    pub timeouts_loss: u64,
+    /// Final timeouts attributed to reply rate limiting. Subset of
+    /// `timeouts`.
+    pub timeouts_rate_limited: u64,
 }
 
 impl ProbeStats {
-    pub(crate) fn record(&mut self, outcome: &ProbeOutcome) {
+    /// Records a logical probe's final outcome. `cause` attributes a
+    /// final timeout when the prober can see why the wire stayed silent;
+    /// it must be `None` for non-timeout outcomes.
+    pub(crate) fn record(&mut self, outcome: &ProbeOutcome, cause: Option<TimeoutCause>) {
         match outcome {
             ProbeOutcome::DirectReply { .. } => self.direct_replies += 1,
             ProbeOutcome::TtlExceeded { .. } => self.ttl_exceeded += 1,
             ProbeOutcome::Unreachable { .. } => self.unreachable += 1,
-            ProbeOutcome::Timeout => self.timeouts += 1,
+            ProbeOutcome::Timeout => {
+                self.timeouts += 1;
+                match cause {
+                    Some(c) if c.is_fault() => self.timeouts_loss += 1,
+                    Some(TimeoutCause::RateLimited) => self.timeouts_rate_limited += 1,
+                    _ => {}
+                }
+            }
         }
+    }
+
+    /// Final timeouts caused by transient faults or rate limiting — the
+    /// counters that degrade a hop's completeness and feed the per-hop
+    /// fault budget. Normal exploration silence (unassigned addresses,
+    /// nil policies, filtered subnets) is deliberately excluded.
+    pub fn fault_timeouts(&self) -> u64 {
+        self.timeouts_loss + self.timeouts_rate_limited
     }
 }
 
@@ -111,13 +136,29 @@ mod tests {
     fn stats_record_each_kind() {
         let a: Addr = "1.1.1.1".parse().unwrap();
         let mut s = ProbeStats::default();
-        s.record(&ProbeOutcome::DirectReply { from: a });
-        s.record(&ProbeOutcome::TtlExceeded { from: a });
-        s.record(&ProbeOutcome::Unreachable { from: a, kind: crate::UnreachKind::Host });
-        s.record(&ProbeOutcome::Timeout);
+        s.record(&ProbeOutcome::DirectReply { from: a }, None);
+        s.record(&ProbeOutcome::TtlExceeded { from: a }, None);
+        s.record(&ProbeOutcome::Unreachable { from: a, kind: crate::UnreachKind::Host }, None);
+        s.record(&ProbeOutcome::Timeout, None);
         assert_eq!(s.direct_replies, 1);
         assert_eq!(s.ttl_exceeded, 1);
         assert_eq!(s.unreachable, 1);
         assert_eq!(s.timeouts, 1);
+        assert_eq!(s.fault_timeouts(), 0);
+    }
+
+    #[test]
+    fn timeout_causes_split_fault_counters() {
+        let mut s = ProbeStats::default();
+        s.record(&ProbeOutcome::Timeout, Some(TimeoutCause::ForwardLoss));
+        s.record(&ProbeOutcome::Timeout, Some(TimeoutCause::ReplyLoss));
+        s.record(&ProbeOutcome::Timeout, Some(TimeoutCause::LinkDown));
+        s.record(&ProbeOutcome::Timeout, Some(TimeoutCause::RateLimited));
+        s.record(&ProbeOutcome::Timeout, Some(TimeoutCause::PolicySilence));
+        s.record(&ProbeOutcome::Timeout, Some(TimeoutCause::Unassigned));
+        assert_eq!(s.timeouts, 6);
+        assert_eq!(s.timeouts_loss, 3);
+        assert_eq!(s.timeouts_rate_limited, 1);
+        assert_eq!(s.fault_timeouts(), 4, "ordinary silence never counts as a fault");
     }
 }

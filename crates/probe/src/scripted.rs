@@ -102,7 +102,7 @@ impl Prober for ScriptedProber {
                 ProbeOutcome::Timeout
             }
         };
-        self.stats.record(&outcome);
+        self.stats.record(&outcome, None);
         // Scripted probers have no network clock; the send counter
         // stands in for it.
         let tick = self.stats.sent;
@@ -120,6 +120,7 @@ impl Prober for ScriptedProber {
                 from,
                 phase: None,
                 cause: None,
+                timeout_cause: None,
             }
         });
         outcome

@@ -11,13 +11,14 @@ use std::sync::Arc;
 
 use inet::Addr;
 use netsim::{Network, Verdict};
-use obs::{ProbeEvent, Recorder};
+use obs::{ProbeEvent, Recorder, TimeoutCause};
 use parking_lot::Mutex;
 use wire::{builder, Packet, Protocol};
 
 use crate::outcome::ProbeOutcome;
 use crate::prober::{ProbeStats, Prober};
-use crate::sim::DEFAULT_RETRIES;
+use crate::retry::{RetryPolicy, RetryState};
+use crate::sim::silence_cause;
 
 /// A cloneable handle to a mutex-protected network.
 #[derive(Clone)]
@@ -46,7 +47,7 @@ impl SharedNetwork {
             protocol,
             ident: 0x7ace,
             seq: 0,
-            retries: DEFAULT_RETRIES,
+            retry: RetryState::new(RetryPolicy::default()),
             stats: ProbeStats::default(),
             recorder: Recorder::disabled(),
         }
@@ -61,7 +62,7 @@ pub struct SharedSimProber {
     protocol: Protocol,
     ident: u16,
     seq: u16,
-    retries: u8,
+    retry: RetryState,
     stats: ProbeStats,
     recorder: Recorder,
 }
@@ -73,9 +74,16 @@ impl SharedSimProber {
         self
     }
 
-    /// Sets the silence retry budget.
+    /// Sets a fixed silence retry budget (shorthand for
+    /// [`SharedSimProber::retry_policy`] with [`RetryPolicy::Fixed`]).
     pub fn retries(mut self, retries: u8) -> Self {
-        self.retries = retries;
+        self.retry = RetryState::new(RetryPolicy::Fixed { retries });
+        self
+    }
+
+    /// Sets the retry policy governing re-probes after silence.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = RetryState::new(policy);
         self
     }
 
@@ -113,18 +121,25 @@ impl Prober for SharedSimProber {
     fn probe_with_flow(&mut self, dst: Addr, ttl: u8, flow: u16) -> ProbeOutcome {
         self.stats.requests += 1;
         let mut outcome = ProbeOutcome::Timeout;
-        for attempt in 0..=self.retries {
+        let mut cause: Option<TimeoutCause> = None;
+        for attempt in 0..=self.retry.budget() {
             if attempt > 0 {
                 self.stats.retries += 1;
+                let delay = self.retry.delay(attempt);
+                if delay > 0 {
+                    self.net.with(|n| n.advance(delay));
+                }
             }
             let probe = self.build_probe(dst, ttl);
             self.stats.sent += 1;
             let (verdict, tick) = self.net.with(|n| (n.inject_bytes(&probe.encode()), n.tick()));
-            outcome = match verdict {
+            (outcome, cause) = match verdict {
                 Verdict::Reply(reply) => {
-                    crate::sim::classify_reply(self.protocol, self.src, &probe, &reply)
+                    let o = crate::sim::classify_reply(self.protocol, self.src, &probe, &reply);
+                    let c = (o == ProbeOutcome::Timeout).then_some(TimeoutCause::StrayReply);
+                    (o, c)
                 }
-                Verdict::Silent(_) => ProbeOutcome::Timeout,
+                Verdict::Silent(reason) => (ProbeOutcome::Timeout, Some(silence_cause(reason))),
             };
             self.recorder.record(|| {
                 let (kind, from) = outcome.observed();
@@ -140,13 +155,16 @@ impl Prober for SharedSimProber {
                     from,
                     phase: None,
                     cause: None,
+                    timeout_cause: cause,
                 }
             });
             if outcome != ProbeOutcome::Timeout {
+                cause = None;
                 break;
             }
         }
-        self.stats.record(&outcome);
+        self.retry.note(outcome == ProbeOutcome::Timeout);
+        self.stats.record(&outcome, cause);
         outcome
     }
 

@@ -8,16 +8,13 @@
 //! treated as silence.
 
 use inet::Addr;
-use netsim::{Network, Verdict};
-use obs::{ProbeEvent, Recorder};
+use netsim::{Network, SilenceReason, Verdict};
+use obs::{ProbeEvent, Recorder, TimeoutCause};
 use wire::{builder, IcmpMessage, Packet, Payload, Protocol, UnreachableCode};
 
 use crate::outcome::{ProbeOutcome, UnreachKind};
 use crate::prober::{FlowMode, ProbeStats, Prober};
-
-/// Default number of re-probes after silence (§3.8: "we re-probe an IP
-/// address if we do not get a response for the first probe").
-pub const DEFAULT_RETRIES: u8 = 1;
+use crate::retry::{RetryPolicy, RetryState};
 
 /// A prober over a `netsim::Network`.
 pub struct SimProber<'n> {
@@ -27,7 +24,7 @@ pub struct SimProber<'n> {
     flow_mode: FlowMode,
     ident: u16,
     seq: u16,
-    retries: u8,
+    retry: RetryState,
     stats: ProbeStats,
     recorder: Recorder,
 }
@@ -52,7 +49,7 @@ impl<'n> SimProber<'n> {
             flow_mode: FlowMode::Paris,
             ident: DEFAULT_IDENT,
             seq: 0,
-            retries: DEFAULT_RETRIES,
+            retry: RetryState::new(RetryPolicy::default()),
             stats: ProbeStats::default(),
             recorder: Recorder::disabled(),
         }
@@ -64,9 +61,16 @@ impl<'n> SimProber<'n> {
         self
     }
 
-    /// Sets the retry budget after silence.
+    /// Sets a fixed retry budget after silence (shorthand for
+    /// [`SimProber::retry_policy`] with [`RetryPolicy::Fixed`]).
     pub fn retries(mut self, retries: u8) -> Self {
-        self.retries = retries;
+        self.retry = RetryState::new(RetryPolicy::Fixed { retries });
+        self
+    }
+
+    /// Sets the retry policy governing re-probes after silence.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = RetryState::new(policy);
         self
     }
 
@@ -189,6 +193,26 @@ pub(crate) fn classify_reply(
 /// reproducible (callers override with [`SimProber::ident`]).
 const DEFAULT_IDENT: u16 = 0x7ace;
 
+/// Maps the simulator's silence reason onto the obs attribution
+/// vocabulary. A live prober has no such signal and leaves causes unset;
+/// the simulated prober is allowed to know, because the attribution only
+/// feeds metrics and degradation accounting, never the algorithms.
+pub(crate) fn silence_cause(reason: SilenceReason) -> TimeoutCause {
+    match reason {
+        SilenceReason::UnknownSource => TimeoutCause::UnknownSource,
+        SilenceReason::NoRoute => TimeoutCause::NoRoute,
+        SilenceReason::Filtered => TimeoutCause::Filtered,
+        SilenceReason::Unassigned => TimeoutCause::Unassigned,
+        SilenceReason::PolicySilence => TimeoutCause::PolicySilence,
+        SilenceReason::TtlExpiredSilently => TimeoutCause::TtlExpiredSilently,
+        SilenceReason::RateLimited => TimeoutCause::RateLimited,
+        SilenceReason::Malformed => TimeoutCause::Malformed,
+        SilenceReason::ForwardLoss => TimeoutCause::ForwardLoss,
+        SilenceReason::ReplyLoss => TimeoutCause::ReplyLoss,
+        SilenceReason::LinkDown => TimeoutCause::LinkDown,
+    }
+}
+
 impl Prober for SimProber<'_> {
     fn src(&self) -> Addr {
         self.src
@@ -201,22 +225,29 @@ impl Prober for SimProber<'_> {
     fn probe_with_flow(&mut self, dst: Addr, ttl: u8, flow: u16) -> ProbeOutcome {
         self.stats.requests += 1;
         let mut outcome = ProbeOutcome::Timeout;
-        for attempt in 0..=self.retries {
+        let mut cause: Option<TimeoutCause> = None;
+        for attempt in 0..=self.retry.budget() {
             if attempt > 0 {
                 self.stats.retries += 1;
+                let delay = self.retry.delay(attempt);
+                if delay > 0 {
+                    self.net.advance(delay);
+                }
             }
             let probe = self.build_probe(dst, ttl, flow);
             self.stats.sent += 1;
             let verdict = self.net.inject_bytes(&probe.encode());
-            outcome = match verdict {
+            (outcome, cause) = match verdict {
                 Verdict::Reply(reply) => {
                     // Round-trip through wire bytes, as a raw socket would.
-                    match Packet::decode(&reply.encode()) {
+                    let o = match Packet::decode(&reply.encode()) {
                         Ok(r) => classify_reply(self.protocol, self.src, &probe, &r),
                         Err(_) => ProbeOutcome::Timeout,
-                    }
+                    };
+                    let c = (o == ProbeOutcome::Timeout).then_some(TimeoutCause::StrayReply);
+                    (o, c)
                 }
-                Verdict::Silent(_) => ProbeOutcome::Timeout,
+                Verdict::Silent(reason) => (ProbeOutcome::Timeout, Some(silence_cause(reason))),
             };
             let tick = self.net.tick();
             self.recorder.record(|| {
@@ -233,13 +264,16 @@ impl Prober for SimProber<'_> {
                     from,
                     phase: None,
                     cause: None,
+                    timeout_cause: cause,
                 }
             });
             if outcome != ProbeOutcome::Timeout {
+                cause = None;
                 break;
             }
         }
-        self.stats.record(&outcome);
+        self.retry.note(outcome == ProbeOutcome::Timeout);
+        self.stats.record(&outcome, cause);
         outcome
     }
 
@@ -332,6 +366,102 @@ mod tests {
         assert_eq!(s.requests, 4);
         assert_eq!(s.retries, 2);
         assert_stats_invariants(&s);
+    }
+
+    #[test]
+    fn backoff_policy_idles_the_clock_between_retries() {
+        let (topo, names) = samples::chain(1);
+        let mut net = Network::new(topo);
+        let v = names.addr("vantage");
+        let mut p =
+            SimProber::new(&mut net, v).retry_policy(RetryPolicy::Backoff { retries: 2, base: 10 });
+        let _ = p.probe("99.0.0.1".parse().unwrap(), 64);
+        // 3 injections plus 10 + 20 idle ticks of backoff.
+        assert_eq!(p.network().tick(), 3 + 10 + 20);
+        assert_eq!(p.stats().sent, 3);
+    }
+
+    #[test]
+    fn adaptive_policy_widens_budget_under_timeouts() {
+        let (topo, names) = samples::chain(1);
+        let mut net = Network::new(topo);
+        let v = names.addr("vantage");
+        let dead: Addr = "99.0.0.1".parse().unwrap();
+        let mut p =
+            SimProber::new(&mut net, v).retry_policy(RetryPolicy::Adaptive { min: 1, max: 4 });
+        // First probe: empty window, budget = min = 1 → 2 sends.
+        let _ = p.probe(dead, 64);
+        assert_eq!(p.stats().sent, 2);
+        // After a run of timeouts the budget grows toward max.
+        for _ in 0..16 {
+            let _ = p.probe(dead, 64);
+        }
+        let before = p.stats().sent;
+        let _ = p.probe(dead, 64);
+        assert_eq!(p.stats().sent - before, 5, "dirty window widens to max = 4 retries");
+        // Clean replies shrink it back down.
+        let d = names.addr("dest");
+        for _ in 0..16 {
+            let _ = p.probe(d, 64);
+        }
+        let before = p.stats().sent;
+        let _ = p.probe(dead, 64);
+        assert_eq!(p.stats().sent - before, 2, "clean window shrinks to min = 1 retry");
+    }
+
+    #[test]
+    fn timeout_causes_reach_events_and_stats() {
+        use obs::{SinkHandle, VecSink};
+
+        let (topo, names) = samples::chain(1);
+        let mut net = Network::new(topo);
+        let mut plan = netsim::FaultPlan::new(7);
+        plan.reply_loss = 1.0;
+        net.set_fault_plan(Some(plan));
+        let v = names.addr("vantage");
+        let d = names.addr("dest");
+        let sink = VecSink::new();
+        let reader = sink.clone();
+        let recorder = Recorder::new().with_sink(SinkHandle::new(sink));
+        let mut p = SimProber::new(&mut net, v).retries(1).recorder(recorder);
+        assert_eq!(p.probe(d, 64), ProbeOutcome::Timeout);
+        let events = reader.events();
+        assert_eq!(events.len(), 2);
+        assert!(
+            events.iter().all(|e| e.timeout_cause == Some(obs::TimeoutCause::ReplyLoss)),
+            "{events:?}"
+        );
+        let s = p.stats();
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.timeouts_loss, 1, "final fault timeout is attributed");
+        assert_eq!(s.fault_timeouts(), 1);
+    }
+
+    #[test]
+    fn recovered_retry_is_not_a_fault_timeout() {
+        // Reply loss on exactly the first injection tick: retry recovers,
+        // so the logical probe is clean and nothing is attributed.
+        let (topo, names) = samples::chain(1);
+        let mut net = Network::new(topo);
+        let v = names.addr("vantage");
+        let d = names.addr("dest");
+        // Find a seed whose plan drops tick 1 but not tick 2.
+        let seed = (0..u64::MAX)
+            .find(|&s| {
+                let mut plan = netsim::FaultPlan::new(s);
+                plan.reply_loss = 0.5;
+                plan.drops_reply(1) && !plan.drops_reply(2)
+            })
+            .unwrap();
+        let mut plan = netsim::FaultPlan::new(seed);
+        plan.reply_loss = 0.5;
+        net.set_fault_plan(Some(plan));
+        let mut p = SimProber::new(&mut net, v).retries(1);
+        assert_eq!(p.probe(d, 64), ProbeOutcome::DirectReply { from: d });
+        let s = p.stats();
+        assert_eq!(s.retries, 1, "first attempt was lost");
+        assert_eq!(s.timeouts, 0);
+        assert_eq!(s.fault_timeouts(), 0, "a recovered probe is clean");
     }
 
     #[test]

@@ -12,11 +12,13 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use inet::Addr;
 use netsim::Network;
 use obs::Recorder;
 use parking_lot::Mutex;
-use probe::{Prober, Protocol, SharedNetwork, SimProber};
+use probe::{Prober, Protocol, RetryPolicy, SharedNetwork, SimProber};
 use tracenet::{Session, SubnetStore, TraceReport, TracenetOptions};
 
 use crate::cache::{CacheStats, SubnetCache};
@@ -33,6 +35,9 @@ pub struct BatchConfig {
     pub protocol: Protocol,
     /// Per-session tracenet options.
     pub opts: TracenetOptions,
+    /// Retry policy used by every session's prober (the default is the
+    /// paper's fixed single re-probe).
+    pub retry: RetryPolicy,
 }
 
 impl Default for BatchConfig {
@@ -42,6 +47,7 @@ impl Default for BatchConfig {
             use_cache: true,
             protocol: Protocol::Icmp,
             opts: TracenetOptions::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -58,6 +64,14 @@ pub struct BatchResult {
     pub cache: CacheStats,
 }
 
+/// Runs one session, isolating the batch from a pathological target: a
+/// panic inside the session (a prober bug, a poisoned topology edge
+/// case) is caught and converted into a sentinel report with
+/// `aborted: true` and no hops, so one bad target can neither take down
+/// its worker thread nor stall the pool. The shared network mutex is
+/// `parking_lot` (no poisoning) and the subnet cache only admits
+/// complete hops, so a mid-flight panic cannot leave corrupt shared
+/// state behind.
 fn run_session<P: Prober>(
     prober: P,
     target: Addr,
@@ -65,11 +79,23 @@ fn run_session<P: Prober>(
     store: Option<Arc<dyn SubnetStore>>,
     recorder: &Recorder,
 ) -> TraceReport {
-    let mut session = Session::new(prober, opts).with_recorder(recorder.clone());
-    if let Some(store) = store {
-        session = session.with_subnet_store(store);
-    }
-    session.run(target)
+    let vantage = prober.src();
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut session = Session::new(prober, opts).with_recorder(recorder.clone());
+        if let Some(store) = store {
+            session = session.with_subnet_store(store);
+        }
+        session.run(target)
+    }))
+    .unwrap_or_else(|_| TraceReport {
+        vantage,
+        destination: target,
+        destination_reached: false,
+        hops: Vec::new(),
+        total_probes: 0,
+        cache_hits: 0,
+        aborted: true,
+    })
 }
 
 fn finish(reports: Vec<TraceReport>, cache: Option<SubnetCache>) -> BatchResult {
@@ -100,6 +126,7 @@ pub fn run_batch(
                 let prober = net
                     .prober(vantage, cfg.protocol)
                     .ident(block.get(k))
+                    .retry_policy(cfg.retry)
                     .recorder(recorder.clone());
                 run_session(prober, target, cfg.opts, store.clone(), recorder)
             })
@@ -117,6 +144,7 @@ pub fn run_batch(
                 let prober = net
                     .prober(vantage, cfg.protocol)
                     .ident(block.get(k))
+                    .retry_policy(cfg.retry)
                     .recorder(recorder.clone());
                 let report = run_session(prober, target, cfg.opts, store.clone(), recorder);
                 done.lock().push((k, report));
@@ -153,6 +181,7 @@ pub fn run_batch_seq(
         .map(|(k, &target)| {
             let prober = SimProber::with_protocol(net, vantage, cfg.protocol)
                 .ident(block.get(k))
+                .retry_policy(cfg.retry)
                 .recorder(recorder.clone());
             run_session(prober, target, cfg.opts, store.clone(), recorder)
         })
@@ -237,6 +266,66 @@ mod tests {
         for (report, &target) in result.reports.iter().zip(&targets) {
             assert_eq!(report.destination, target, "report k belongs to target k");
         }
+    }
+
+    #[test]
+    fn panicking_session_yields_an_aborted_sentinel() {
+        use probe::{ProbeOutcome, ProbeStats};
+
+        /// A prober whose first wire probe panics — the worst-case
+        /// pathological target.
+        struct Bomb;
+        impl Prober for Bomb {
+            fn src(&self) -> Addr {
+                "10.0.0.1".parse().unwrap()
+            }
+            fn protocol(&self) -> Protocol {
+                Protocol::Icmp
+            }
+            fn probe_with_flow(&mut self, _dst: Addr, _ttl: u8, _flow: u16) -> ProbeOutcome {
+                panic!("simulated prober failure");
+            }
+            fn stats(&self) -> ProbeStats {
+                ProbeStats::default()
+            }
+        }
+
+        // Silence the default panic hook for the expected panic.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = run_session(
+            Bomb,
+            "10.9.9.9".parse().unwrap(),
+            TracenetOptions::default(),
+            None,
+            &Recorder::disabled(),
+        );
+        std::panic::set_hook(prev);
+
+        assert!(report.aborted);
+        assert!(report.hops.is_empty());
+        assert!(!report.destination_reached);
+        assert_eq!(report.completeness(), tracenet::Completeness::Abandoned);
+        assert_eq!(report.destination, "10.9.9.9".parse::<Addr>().unwrap());
+    }
+
+    #[test]
+    fn healthy_batch_reports_are_never_aborted() {
+        let (shared, names) = chain_net();
+        let dest = names.addr("dest");
+        let cfg = BatchConfig { jobs: 4, ..BatchConfig::default() };
+        let result = run_batch(
+            &shared,
+            names.addr("vantage"),
+            &[dest, dest, dest, dest],
+            &cfg,
+            &Recorder::disabled(),
+        );
+        assert!(result.reports.iter().all(|r| !r.aborted));
+        assert!(result
+            .reports
+            .iter()
+            .all(|r| r.completeness() == tracenet::Completeness::Complete));
     }
 
     #[test]

@@ -6,18 +6,30 @@ use std::collections::{BTreeMap, BTreeSet};
 use evalkit::run::run_tracenet_batch;
 use evalkit::CollectedSet;
 use inet::{Addr, Prefix};
-use netsim::Network;
-use probe::SharedNetwork;
+use netsim::{FaultPlan, Network};
+use probe::{Prober, RetryPolicy, SharedNetwork, SimProber};
 use proptest::prelude::*;
 use sweep::BatchConfig;
 use topogen::random_topology;
+use tracenet::TracenetOptions;
 
 fn collect(
     scenario: &topogen::Scenario,
     targets: &[Addr],
     cfg: &BatchConfig,
 ) -> (CollectedSet, sweep::CacheStats) {
-    let shared = SharedNetwork::new(Network::new(scenario.topology.clone()));
+    collect_with_plan(scenario, targets, cfg, None)
+}
+
+fn collect_with_plan(
+    scenario: &topogen::Scenario,
+    targets: &[Addr],
+    cfg: &BatchConfig,
+    plan: Option<FaultPlan>,
+) -> (CollectedSet, sweep::CacheStats) {
+    let mut net = Network::new(scenario.topology.clone());
+    net.set_fault_plan(plan);
+    let shared = SharedNetwork::new(net);
     run_tracenet_batch(
         &shared,
         scenario.vantage("vantage"),
@@ -25,6 +37,16 @@ fn collect(
         cfg,
         &obs::Recorder::disabled(),
     )
+}
+
+/// A moderate seeded fault plan for the robustness properties.
+fn plan_from(seed: u64) -> FaultPlan {
+    FaultPlan { forward_loss: 0.15, router_loss: 0.08, reply_loss: 0.12, ..FaultPlan::new(seed) }
+}
+
+/// Session options for faulty runs: a finite per-hop fault budget.
+fn faulty_opts() -> TracenetOptions {
+    TracenetOptions { hop_fault_budget: Some(32), ..TracenetOptions::default() }
 }
 
 fn subnet_map(set: &CollectedSet) -> BTreeMap<Prefix, BTreeSet<Addr>> {
@@ -89,5 +111,90 @@ proptest! {
         let par = collect(&scenario, &targets, &BatchConfig { jobs: 8, ..BatchConfig::default() });
         prop_assert_eq!(subnet_map(&par.0), subnet_map(&seq.0), "seed {}", seed);
         prop_assert_eq!(par.0.addresses(), seq.0.addresses(), "seed {}", seed);
+    }
+
+    /// Soundness under faults: whatever a seeded fault plan does, the
+    /// batch never reports an address the topology does not assign, and
+    /// every session completes (no aborted sentinel reports).
+    #[test]
+    fn faulty_runs_discover_only_assigned_addresses(seed in 160u64..200) {
+        let scenario = random_topology(seed, 9);
+        let targets: Vec<Addr> = scenario.targets.iter().copied().take(10).collect();
+        let cfg = BatchConfig { opts: faulty_opts(), ..BatchConfig::default() };
+        let (set, _) = collect_with_plan(&scenario, &targets, &cfg, Some(plan_from(seed)));
+        prop_assert_eq!(set.sessions, targets.len(), "seed {}", seed);
+        for &addr in set.addresses() {
+            prop_assert!(
+                scenario.topology.iface_by_addr(addr).is_some(),
+                "seed {}: faulty run invented address {}", seed, addr
+            );
+        }
+    }
+
+    /// Monotone degradation: scaling the loss knobs up (same seed) never
+    /// lets the batch discover more than a lighter-loss run.
+    #[test]
+    fn degradation_is_monotone_in_the_loss_knobs(seed in 200u64..230) {
+        let scenario = random_topology(seed, 9);
+        let targets: Vec<Addr> = scenario.targets.iter().copied().take(10).collect();
+        let cfg = BatchConfig { opts: faulty_opts(), ..BatchConfig::default() };
+        let base = plan_from(seed);
+        let mut prev = usize::MAX;
+        for factor in [0.0, 0.5, 1.0] {
+            let plan = base.scaled_loss(factor);
+            let (set, _) = collect_with_plan(&scenario, &targets, &cfg, Some(plan));
+            let count = set.addresses().len();
+            prop_assert!(
+                count <= prev,
+                "seed {}: loss factor {} discovered {} > lighter run's {}",
+                seed, factor, count, prev
+            );
+            prev = count;
+        }
+    }
+
+    /// ProbeStats identities hold for every retry policy shape, with and
+    /// without faults: wire sends decompose into requests plus retries,
+    /// requests decompose into the four outcomes, and fault attribution
+    /// never exceeds the timeout count.
+    #[test]
+    fn probe_stats_identities_hold_for_every_retry_policy(
+        seed in 230u64..250,
+        policy_idx in 0usize..5,
+        faulty in any::<bool>(),
+    ) {
+        let policies = [
+            RetryPolicy::Fixed { retries: 0 },
+            RetryPolicy::Fixed { retries: 2 },
+            RetryPolicy::Backoff { retries: 3, base: 4 },
+            RetryPolicy::Adaptive { min: 0, max: 3 },
+            RetryPolicy::Adaptive { min: 1, max: 1 },
+        ];
+        let scenario = random_topology(seed, 9);
+        let mut net = Network::new(scenario.topology.clone());
+        if faulty {
+            net.set_fault_plan(Some(plan_from(seed)));
+        }
+        let mut prober = SimProber::new(&mut net, scenario.vantage("vantage"))
+            .retry_policy(policies[policy_idx]);
+        for &target in scenario.targets.iter().take(6) {
+            for ttl in 1..=6u8 {
+                let _ = prober.probe(target, ttl);
+            }
+        }
+        let s = prober.stats();
+        prop_assert_eq!(s.sent, s.requests + s.retries, "seed {}", seed);
+        prop_assert_eq!(
+            s.requests,
+            s.direct_replies + s.ttl_exceeded + s.unreachable + s.timeouts,
+            "seed {}", seed
+        );
+        prop_assert!(
+            s.timeouts_loss + s.timeouts_rate_limited <= s.timeouts,
+            "seed {}: attributed more timeouts than happened", seed
+        );
+        if !faulty {
+            prop_assert_eq!(s.timeouts_loss + s.timeouts_rate_limited, 0, "seed {}", seed);
+        }
     }
 }
