@@ -63,4 +63,8 @@ fn main() {
     println!("paper shape: per-ISP counts are close to each other across vantage");
     println!("points; SprintLink yields the most subnets and NTT America the");
     println!("fewest (paper, Rice/ICMP: 4482 / 1593 / 3587 / 2333).");
+    match bench_suite::write_bench_json("fig8", &bench_suite::isp_bench_json(&exp, &args)) {
+        Ok(path) => println!("\nwrote {path} (probe counts + wall ticks)"),
+        Err(e) => eprintln!("BENCH_fig8.json: {e}"),
+    }
 }

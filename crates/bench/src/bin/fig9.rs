@@ -42,4 +42,8 @@ fn main() {
         println!("  paper anchor: /{len} = {count}");
     }
     println!("plus a visible bump at /24 and a thin /20-/22 tail (NTT America).");
+    match bench_suite::write_bench_json("fig9", &bench_suite::isp_bench_json(&exp, &args)) {
+        Ok(path) => println!("\nwrote {path} (probe counts + wall ticks)"),
+        Err(e) => eprintln!("BENCH_fig9.json: {e}"),
+    }
 }

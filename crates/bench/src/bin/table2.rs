@@ -52,4 +52,8 @@ fn main() {
         100.0 * r.table.exact_rate(),
         100.0 * r.table.exact_rate_responsive()
     );
+    match bench_suite::write_bench_json("table2", &bench_suite::accuracy_bench_json(&r, &args)) {
+        Ok(path) => println!("\nwrote {path} (probe counts + wall ticks)"),
+        Err(e) => eprintln!("BENCH_table2.json: {e}"),
+    }
 }

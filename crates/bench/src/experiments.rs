@@ -40,6 +40,9 @@ pub struct AccuracyResult {
     /// Cross-session subnet-cache counters (all zero on the sequential
     /// no-cache path).
     pub cache: CacheStats,
+    /// Simulated wall ticks the collection consumed (the network clock
+    /// after the run, before the audit sweeps).
+    pub wall_ticks: u64,
 }
 
 /// Parsed arguments shared by the batch-engine reproduction binaries.
@@ -143,6 +146,7 @@ pub fn accuracy_experiment(scenario: Scenario) -> AccuracyResult {
         &TracenetOptions::default(),
         &obs::Recorder::new().with_metrics(Arc::clone(&registry)),
     );
+    let wall_ticks = net.tick();
     let mut classifications = classify(&gt, &collected.records());
 
     // The paper's audit step, with a fresh prober (the sweeps are not
@@ -161,6 +165,7 @@ pub fn accuracy_experiment(scenario: Scenario) -> AccuracyResult {
         metrics: registry.snapshot(),
         audit_agreement,
         cache: CacheStats::default(),
+        wall_ticks,
     }
 }
 
@@ -186,6 +191,7 @@ pub fn accuracy_experiment_with(scenario: Scenario, args: &ExpArgs) -> AccuracyR
         &args.cfg,
         &obs::Recorder::new().with_metrics(Arc::clone(&registry)),
     );
+    let wall_ticks = shared.with(|net| net.tick());
     let mut classifications = classify(&gt, &collected.records());
 
     let audit_agreement = shared.with(|net| {
@@ -204,6 +210,7 @@ pub fn accuracy_experiment_with(scenario: Scenario, args: &ExpArgs) -> AccuracyR
         metrics: registry.snapshot(),
         audit_agreement,
         cache,
+        wall_ticks,
     }
 }
 
@@ -241,6 +248,9 @@ pub struct VantageRun {
     /// no-cache path; each vantage keeps its own cache, so Figure 6's
     /// cross-validation stays honest).
     pub cache: CacheStats,
+    /// Simulated wall ticks this vantage's collection consumed (the
+    /// shared clock advance attributable to this run).
+    pub wall_ticks: u64,
 }
 
 /// The §4.2 cross-validation experiment: all three vantages trace the
@@ -261,6 +271,7 @@ pub fn isp_experiment(seed: u64) -> IspExperiment {
     let scenario = isp_internet(seed);
     let mut net = Network::new(scenario.topology.clone()).with_fluctuation(ISP_FLUCTUATION_PERIOD);
     let mut runs = Vec::new();
+    let mut tick_before = net.tick();
     for (name, addr) in scenario.vantages.clone() {
         let registry = Arc::new(obs::Registry::new());
         let collected = run_tracenet_with(
@@ -271,12 +282,15 @@ pub fn isp_experiment(seed: u64) -> IspExperiment {
             &TracenetOptions::default(),
             &obs::Recorder::new().with_metrics(Arc::clone(&registry)),
         );
+        let tick_after = net.tick();
         runs.push(VantageRun {
             vantage: name,
             collected,
             metrics: registry.snapshot(),
             cache: CacheStats::default(),
+            wall_ticks: tick_after - tick_before,
         });
+        tick_before = tick_after;
     }
     IspExperiment { scenario, runs }
 }
@@ -292,6 +306,7 @@ pub fn isp_experiment_with(args: &ExpArgs) -> IspExperiment {
     net.set_fault_plan(args.fault);
     let shared = SharedNetwork::new(net);
     let mut runs = Vec::new();
+    let mut tick_before = shared.with(|net| net.tick());
     for (name, addr) in scenario.vantages.clone() {
         let registry = Arc::new(obs::Registry::new());
         let (collected, cache) = run_tracenet_batch(
@@ -301,7 +316,15 @@ pub fn isp_experiment_with(args: &ExpArgs) -> IspExperiment {
             &args.cfg,
             &obs::Recorder::new().with_metrics(Arc::clone(&registry)),
         );
-        runs.push(VantageRun { vantage: name, collected, metrics: registry.snapshot(), cache });
+        let tick_after = shared.with(|net| net.tick());
+        runs.push(VantageRun {
+            vantage: name,
+            collected,
+            metrics: registry.snapshot(),
+            cache,
+            wall_ticks: tick_after - tick_before,
+        });
+        tick_before = tick_after;
     }
     IspExperiment { scenario, runs }
 }
@@ -362,6 +385,63 @@ impl IspExperiment {
             .map(|r| (r.vantage.clone(), prefix_length_series(&r.collected, &regions)))
             .collect()
     }
+}
+
+/// Writes the machine-readable benchmark record `BENCH_<exp>.json`
+/// into the current directory (probe counts plus simulated wall ticks,
+/// for the CI and regression tooling). Returns the path written.
+pub fn write_bench_json(exp: &str, payload: &serde_json::Value) -> std::io::Result<String> {
+    let path = format!("BENCH_{exp}.json");
+    std::fs::write(&path, payload.to_string() + "\n")?;
+    Ok(path)
+}
+
+fn phases_json(m: &obs::MetricsSnapshot) -> serde_json::Value {
+    serde_json::json!({
+        "trace": m.sent_in(obs::Phase::Trace),
+        "position": m.sent_in(obs::Phase::Position),
+        "explore": m.sent_in(obs::Phase::Explore),
+    })
+}
+
+/// Benchmark payload of an ISP experiment (Figures 8/9): per-vantage
+/// probe counts, per-phase splits, and simulated wall ticks.
+pub fn isp_bench_json(exp: &IspExperiment, args: &ExpArgs) -> serde_json::Value {
+    serde_json::json!({
+        "seed": args.seed,
+        "jobs": args.cfg.jobs,
+        "cache": args.cfg.use_cache,
+        "faults": args.fault.is_some(),
+        "vantages": exp
+            .runs
+            .iter()
+            .map(|r| serde_json::json!({
+                "vantage": r.vantage.clone(),
+                "probes": r.metrics.sent_total(),
+                "wall_ticks": r.wall_ticks,
+                "phases": phases_json(&r.metrics),
+                "subnets": r.collected.prefixes().len(),
+            }))
+            .collect::<Vec<_>>(),
+    })
+}
+
+/// Benchmark payload of an accuracy experiment (Tables 1/2): probe
+/// count, per-phase split, simulated wall ticks and accuracy rates.
+pub fn accuracy_bench_json(r: &AccuracyResult, args: &ExpArgs) -> serde_json::Value {
+    serde_json::json!({
+        "seed": args.seed,
+        "jobs": args.cfg.jobs,
+        "cache": args.cfg.use_cache,
+        "faults": args.fault.is_some(),
+        "network": r.network.clone(),
+        "probes": r.probes,
+        "wall_ticks": r.wall_ticks,
+        "phases": phases_json(&r.metrics),
+        "exact_incl": r.table.exact_rate(),
+        "exact_excl": r.table.exact_rate_responsive(),
+        "audit": [r.audit_agreement.0, r.audit_agreement.1],
+    })
 }
 
 /// One point of the §3.6 overhead sweep.

@@ -70,6 +70,17 @@ fn fault_budget(opts: &Opts) -> Result<Option<u16>, String> {
     }
 }
 
+/// Parses `--targets A,B,..`, defaulting to the scenario's target list.
+fn targets_from(scenario: &Scenario, opts: &Opts) -> Result<Vec<Addr>, String> {
+    match opts.flag("targets") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("invalid target address {s:?}")))
+            .collect(),
+        None => Ok(scenario.targets.clone()),
+    }
+}
+
 fn vantage(scenario: &Scenario, opts: &Opts) -> Result<Addr, String> {
     match opts.flag("vantage") {
         None => scenario
@@ -141,31 +152,61 @@ pub fn info(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
-/// A metrics registry paired with the file path its snapshot goes to.
-type MetricsOut = Option<(Arc<obs::Registry>, String)>;
+/// A metrics registry paired with the files its snapshot goes to:
+/// `--metrics` (pretty JSON plus a rendered table on stdout) and/or
+/// `--metrics-json` (one compact machine-readable JSON object).
+struct MetricsOut {
+    registry: Arc<obs::Registry>,
+    pretty: Option<String>,
+    compact: Option<String>,
+}
 
-/// Builds the probe-telemetry recorder from `--trace-log` / `--metrics`,
-/// and installs the span subscriber for `-v` / `-vv`. Returns the
-/// recorder plus the metrics registry and output path, when requested.
-fn recorder_from(opts: &Opts) -> Result<(obs::Recorder, MetricsOut), String> {
+impl MetricsOut {
+    /// Snapshots the registry and writes every requested file. Returns
+    /// the rendered table when `--metrics` asked for human output.
+    fn write(&self) -> Result<String, String> {
+        let snap = self.registry.snapshot();
+        if let Some(path) = &self.pretty {
+            let json = serde_json::to_string_pretty(&snap.to_json())
+                .map_err(|e| format!("{path}: {e}"))?;
+            std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+        }
+        if let Some(path) = &self.compact {
+            std::fs::write(path, snap.to_json().to_string() + "\n")
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        Ok(if self.pretty.is_some() { snap.render_table() } else { String::new() })
+    }
+}
+
+/// Installs the span subscriber for `-v` / `-vv`.
+fn install_subscriber(opts: &Opts) {
     match opts.verbosity() {
         0 => {}
         1 => obs::trace::set_subscriber(obs::Level::Info, Box::new(obs::trace::FmtSubscriber)),
         _ => obs::trace::set_subscriber(obs::Level::Debug, Box::new(obs::trace::FmtSubscriber)),
     }
+}
+
+/// Builds the probe-telemetry recorder from `--trace-log`, `--metrics`
+/// and `--metrics-json`, and installs the span subscriber for `-v` /
+/// `-vv`. Returns the recorder plus the metrics outputs, when requested.
+fn recorder_from(opts: &Opts) -> Result<(obs::Recorder, Option<MetricsOut>), String> {
+    install_subscriber(opts);
     let mut recorder = obs::Recorder::new();
     if let Some(path) = opts.flag("trace-log") {
         let sink = obs::JsonlSink::create(std::path::Path::new(path))
             .map_err(|e| format!("{path}: {e}"))?;
         recorder = recorder.with_sink(obs::SinkHandle::new(sink));
     }
-    let metrics = match opts.flag("metrics") {
-        Some(path) => {
-            let registry = Arc::new(obs::Registry::new());
-            recorder = recorder.with_metrics(Arc::clone(&registry));
-            Some((registry, path.to_string()))
-        }
-        None => None,
+    let pretty = opts.flag("metrics").map(str::to_string);
+    let compact = opts.flag("metrics-json").map(str::to_string);
+    let metrics = if pretty.is_some() || compact.is_some() {
+        let registry = Arc::new(obs::Registry::new());
+        recorder = recorder.with_metrics(Arc::clone(&registry));
+        Some(MetricsOut { registry, pretty, compact })
+    } else {
+        None
     };
     Ok((recorder, metrics))
 }
@@ -196,6 +237,7 @@ pub fn trace(opts: &Opts) -> Result<String, String> {
     let mut out = String::new();
     let mut reports = Vec::new();
     for (k, &target) in targets.iter().enumerate() {
+        let recorder = recorder.clone().with_session(k as u64);
         let mut prober = SimProber::with_protocol(&mut net, v, proto)
             .ident(k as u16 ^ 0x7ace)
             .retry_policy(retry)
@@ -209,13 +251,10 @@ pub fn trace(opts: &Opts) -> Result<String, String> {
         }
     }
     recorder.flush().map_err(|e| format!("--trace-log: {e}"))?;
-    if let Some((registry, path)) = metrics {
-        let snap = registry.snapshot();
-        let json =
-            serde_json::to_string_pretty(&snap.to_json()).map_err(|e| format!("{path}: {e}"))?;
-        std::fs::write(&path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+    if let Some(m) = &metrics {
+        let table = m.write()?;
         if !opts.has("json") {
-            out.push_str(&snap.render_table());
+            out.push_str(&table);
         }
     }
     if opts.has("json") {
@@ -318,13 +357,7 @@ pub fn batch(opts: &Opts) -> Result<String, String> {
     let v = vantage(&scenario, opts)?;
     let proto = protocol(opts)?;
     let (recorder, metrics) = recorder_from(opts)?;
-    let targets: Vec<Addr> = match opts.flag("targets") {
-        Some(list) => list
-            .split(',')
-            .map(|s| s.trim().parse().map_err(|_| format!("invalid target address {s:?}")))
-            .collect::<Result<_, _>>()?,
-        None => scenario.targets.clone(),
-    };
+    let targets = targets_from(&scenario, opts)?;
     let tn_opts =
         TracenetOptions { hop_fault_budget: fault_budget(opts)?, ..TracenetOptions::default() };
     let cfg = sweep::BatchConfig {
@@ -340,12 +373,10 @@ pub fn batch(opts: &Opts) -> Result<String, String> {
     let (collected, cache) =
         evalkit::run::run_tracenet_batch(&shared, v, &targets, &cfg, &recorder);
     recorder.flush().map_err(|e| format!("--trace-log: {e}"))?;
-    if let Some((registry, path)) = &metrics {
-        let snap = registry.snapshot();
-        let json =
-            serde_json::to_string_pretty(&snap.to_json()).map_err(|e| format!("{path}: {e}"))?;
-        std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
-    }
+    let metrics_table = match &metrics {
+        Some(m) => m.write()?,
+        None => String::new(),
+    };
     if opts.has("json") {
         let records = collected.records();
         return Ok(serde_json::json!({
@@ -380,9 +411,7 @@ pub fn batch(opts: &Opts) -> Result<String, String> {
     } else {
         out.push_str("subnet cache: disabled\n");
     }
-    if let Some((registry, _)) = metrics {
-        out.push_str(&registry.snapshot().render_table());
-    }
+    out.push_str(&metrics_table);
     Ok(out)
 }
 
@@ -452,6 +481,375 @@ pub fn crossval(opts: &Opts) -> Result<String, String> {
         evalkit::render::pct(venn.all_three_rate()),
         evalkit::render::pct(venn.verified_by_another_rate()),
     ));
+    Ok(out)
+}
+
+/// Serializes the session options into the exchange-log header, so a
+/// replay re-creates the exact configuration of the recorded run.
+fn options_to_json(o: &TracenetOptions) -> serde_json::Value {
+    let h = &o.heuristics;
+    serde_json::json!({
+        "max_ttl": o.max_ttl,
+        "min_prefix_len": o.min_prefix_len,
+        "distance_search_span": o.distance_search_span,
+        "utilization_stop": o.utilization_stop,
+        "reuse_known_subnets": o.reuse_known_subnets,
+        "explore_off_path": o.explore_off_path,
+        "hop_fault_budget": o.hop_fault_budget.map(u64::from),
+        "heuristics": [
+            h.h2_upper_bound_subnet_contiguity,
+            h.h3_single_contra_pivot,
+            h.h4_lower_bound_subnet_contiguity,
+            h.h5_mate31_shortcut,
+            h.h6_fixed_entry_points,
+            h.h7_upper_bound_router_contiguity,
+            h.h8_lower_bound_router_contiguity,
+            h.h9_boundary_reduction,
+        ],
+    })
+}
+
+/// Reads [`options_to_json`]'s rendering back. Every field is required:
+/// defaulting a missing one would silently replay under a different
+/// configuration than the recording ran.
+fn options_from_json(v: &serde_json::Value) -> Result<tracenet::TracenetOptions, String> {
+    fn num(v: &serde_json::Value, key: &str) -> Result<u8, String> {
+        v[key]
+            .as_u64()
+            .and_then(|n| u8::try_from(n).ok())
+            .ok_or_else(|| format!("options: missing or invalid {key:?}"))
+    }
+    fn switch(v: &serde_json::Value, key: &str) -> Result<bool, String> {
+        v[key].as_bool().ok_or_else(|| format!("options: missing or invalid {key:?}"))
+    }
+    let h: Vec<bool> = v["heuristics"]
+        .as_array()
+        .ok_or("options: missing heuristics array")?
+        .iter()
+        .map(serde_json::Value::as_bool)
+        .collect::<Option<_>>()
+        .ok_or("options: heuristic switches must be booleans")?;
+    if h.len() != 8 {
+        return Err(format!("options: expected 8 heuristic switches (H2–H9), got {}", h.len()));
+    }
+    Ok(TracenetOptions {
+        max_ttl: num(v, "max_ttl")?,
+        min_prefix_len: num(v, "min_prefix_len")?,
+        distance_search_span: num(v, "distance_search_span")?,
+        utilization_stop: switch(v, "utilization_stop")?,
+        reuse_known_subnets: switch(v, "reuse_known_subnets")?,
+        explore_off_path: switch(v, "explore_off_path")?,
+        hop_fault_budget: if v["hop_fault_budget"].is_null() {
+            None
+        } else {
+            Some(
+                v["hop_fault_budget"]
+                    .as_u64()
+                    .and_then(|n| u16::try_from(n).ok())
+                    .ok_or("options: invalid hop_fault_budget")?,
+            )
+        },
+        heuristics: tracenet::HeuristicSet {
+            h2_upper_bound_subnet_contiguity: h[0],
+            h3_single_contra_pivot: h[1],
+            h4_lower_bound_subnet_contiguity: h[2],
+            h5_mate31_shortcut: h[3],
+            h6_fixed_entry_points: h[4],
+            h7_upper_bound_router_contiguity: h[5],
+            h8_lower_bound_router_contiguity: h[6],
+            h9_boundary_reduction: h[7],
+        },
+    })
+}
+
+/// `tracenet record <scenario> --out FILE [--targets A,B,..] [--jobs N]
+/// [--vantage NAME] [--protocol icmp|udp|tcp] [--max-ttl N]
+/// [fault/retry flags]` — the flight recorder: run a batch and capture
+/// every request/response pair, every heuristic verdict, and each
+/// session's final report into one exchange log for
+/// `replay`/`diff`/`explain`.
+pub fn record(opts: &Opts) -> Result<String, String> {
+    let scenario = load(opts)?;
+    let v = vantage(&scenario, opts)?;
+    let proto = protocol(opts)?;
+    let out_path = opts.flag("out").ok_or("missing --out FILE (where the exchange log goes)")?;
+    install_subscriber(opts);
+    let targets = targets_from(&scenario, opts)?;
+    if targets.is_empty() {
+        return Err("nothing to record: scenario has no targets".to_string());
+    }
+    let tn_opts = TracenetOptions {
+        max_ttl: opts.flag_parse("max-ttl", TracenetOptions::default().max_ttl)?,
+        hop_fault_budget: fault_budget(opts)?,
+        ..TracenetOptions::default()
+    };
+    let jobs = opts.flag_parse("jobs", 1usize)?;
+    let header = obs::ExchangeHeader {
+        version: obs::FORMAT_VERSION,
+        vantage: v,
+        protocol: proto,
+        targets: targets.clone(),
+        jobs: jobs as u64,
+        options: options_to_json(&tn_opts),
+    };
+    let writer = Arc::new(std::sync::Mutex::new(
+        obs::ExchangeWriter::create(std::path::Path::new(out_path), &header)
+            .map_err(|e| format!("{out_path}: {e}"))?,
+    ));
+    let recorder = obs::Recorder::new()
+        .with_sink(obs::SinkHandle::new(obs::ExchangeSink::new(Arc::clone(&writer))));
+    let cfg = sweep::BatchConfig {
+        jobs,
+        // Replay re-runs sessions one at a time; a cross-session subnet
+        // cache would couple them through shared state the log cannot
+        // reproduce, so recording always runs cache-off.
+        use_cache: false,
+        protocol: proto,
+        opts: tn_opts,
+        retry: retry_policy(opts)?,
+    };
+    let mut net = Network::new(scenario.topology.clone());
+    net.set_fault_plan(fault_plan(opts)?);
+    let shared = probe::SharedNetwork::new(net);
+    let result = sweep::run_batch(&shared, v, &targets, &cfg, &recorder);
+    let mut w = writer.lock().map_err(|_| "exchange log writer poisoned".to_string())?;
+    for (k, report) in result.reports.iter().enumerate() {
+        w.write_report(k as u64, &report_to_json(report));
+    }
+    w.flush().map_err(|e| format!("{out_path}: {e}"))?;
+    Ok(format!(
+        "recorded {} sessions ({} probes) to {out_path}\n",
+        result.reports.len(),
+        result.probes
+    ))
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "session panicked".to_string()
+    }
+}
+
+/// `tracenet replay <log>` — re-run every recorded session against the
+/// log itself (no simulator involved) and check that each replayed
+/// `TraceReport` is byte-identical to the recorded one.
+pub fn replay(opts: &Opts) -> Result<String, String> {
+    let path = opts.required(0, "exchange log (record one with `tracenet record`)")?;
+    let log = obs::ExchangeLog::load(std::path::Path::new(path))?;
+    let tn_opts = options_from_json(&log.header.options)?;
+    let mut diverged = Vec::new();
+    let mut probes = 0u64;
+    for (k, &target) in log.header.targets.iter().enumerate() {
+        let session = k as u64;
+        let recorded = log
+            .report_for(session)
+            .ok_or_else(|| format!("session {session}: log carries no report line"))?;
+        let mut prober = probe::ReplayProber::for_session(&log, session)
+            .map_err(|e| format!("session {session}: {e}"))?;
+        let replayed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Session::new(&mut prober, tn_opts).run(target)
+        }));
+        match replayed {
+            Err(panic) => diverged
+                .push(format!("session {session} ({target}): {}", panic_message(panic.as_ref()))),
+            Ok(report) => {
+                probes += report.total_probes;
+                if report_to_json(&report) != *recorded {
+                    diverged.push(format!(
+                        "session {session} ({target}): replayed report differs from recorded report"
+                    ));
+                } else if prober.remaining() != 0 {
+                    diverged.push(format!(
+                        "session {session} ({target}): {} recorded probes never re-asked",
+                        prober.remaining()
+                    ));
+                }
+            }
+        }
+    }
+    if diverged.is_empty() {
+        Ok(format!(
+            "replayed {} sessions ({probes} probes) from {path}: reports byte-identical\n",
+            log.header.targets.len()
+        ))
+    } else {
+        Err(format!("replay diverged:\n  {}", diverged.join("\n  ")))
+    }
+}
+
+/// One hop of a report JSON, compressed to a line for diff output.
+fn hop_summary(hop: &serde_json::Value) -> String {
+    let addr = hop["addr"].as_str().unwrap_or("*");
+    let completeness = hop["completeness"].as_str().unwrap_or("?");
+    match hop["subnet"]["prefix"].as_str() {
+        Some(prefix) => {
+            let members = hop["subnet"]["members"].as_array().map_or(0, Vec::len);
+            format!("{addr} [{completeness}] {prefix} ({members} members)")
+        }
+        None => format!("{addr} [{completeness}] no subnet"),
+    }
+}
+
+/// Appends one line per field where two recorded reports disagree.
+fn diff_reports(
+    session: u64,
+    target: Addr,
+    ra: &serde_json::Value,
+    rb: &serde_json::Value,
+    out: &mut Vec<String>,
+) {
+    if ra == rb {
+        return;
+    }
+    let mut noted = false;
+    for key in ["probes", "reached", "completeness", "aborted"] {
+        let (va, vb) = (&ra[key], &rb[key]);
+        if va != vb {
+            out.push(format!("session {session} ({target}): {key} {va} vs {vb}"));
+            noted = true;
+        }
+    }
+    let empty = Vec::new();
+    let ha = ra["hops"].as_array().unwrap_or(&empty);
+    let hb = rb["hops"].as_array().unwrap_or(&empty);
+    if ha.len() != hb.len() {
+        out.push(format!("session {session} ({target}): {} vs {} hops", ha.len(), hb.len()));
+        noted = true;
+    }
+    for (va, vb) in ha.iter().zip(hb) {
+        if va == vb {
+            continue;
+        }
+        let hop = va["hop"].as_u64().unwrap_or(0);
+        out.push(format!(
+            "session {session} ({target}): hop {hop}: {} vs {}",
+            hop_summary(va),
+            hop_summary(vb)
+        ));
+        noted = true;
+    }
+    if !noted {
+        out.push(format!("session {session} ({target}): reports differ"));
+    }
+}
+
+/// `tracenet diff <a> <b>` — compare two exchange logs session by
+/// session. Equivalent logs report so and exit 0; any divergence prints
+/// a structured report and exits nonzero.
+pub fn diff(opts: &Opts) -> Result<String, String> {
+    let a_path = opts.required(0, "first exchange log")?;
+    let b_path = opts.required(1, "second exchange log")?;
+    let a = obs::ExchangeLog::load(std::path::Path::new(a_path))?;
+    let b = obs::ExchangeLog::load(std::path::Path::new(b_path))?;
+    let mut lines = Vec::new();
+    if a.header.vantage != b.header.vantage {
+        lines.push(format!("header: vantage {} vs {}", a.header.vantage, b.header.vantage));
+    }
+    if a.header.protocol != b.header.protocol {
+        lines.push(format!("header: protocol {:?} vs {:?}", a.header.protocol, b.header.protocol));
+    }
+    if a.header.targets != b.header.targets {
+        lines.push(format!(
+            "header: target lists differ ({} vs {} targets)",
+            a.header.targets.len(),
+            b.header.targets.len()
+        ));
+    }
+    if a.header.options != b.header.options {
+        lines.push("header: collection options differ".to_string());
+    }
+    for (k, &target) in a.header.targets.iter().enumerate() {
+        if k >= b.header.targets.len() {
+            break;
+        }
+        let session = k as u64;
+        let (ea, eb) = (a.events_for(session).count(), b.events_for(session).count());
+        if ea != eb {
+            lines.push(format!("session {session} ({target}): {ea} vs {eb} probe events"));
+        }
+        match (a.report_for(session), b.report_for(session)) {
+            (None, None) => {}
+            (Some(_), None) => {
+                lines.push(format!("session {session} ({target}): report only in {a_path}"));
+            }
+            (None, Some(_)) => {
+                lines.push(format!("session {session} ({target}): report only in {b_path}"));
+            }
+            (Some(ra), Some(rb)) => diff_reports(session, target, ra, rb, &mut lines),
+        }
+    }
+    if lines.is_empty() {
+        Ok(format!(
+            "logs are equivalent: {} sessions, {} probe events\n",
+            a.header.targets.len(),
+            a.events.len()
+        ))
+    } else {
+        Err(format!("exchange logs diverge ({a_path} vs {b_path}):\n  {}", lines.join("\n  ")))
+    }
+}
+
+/// `tracenet explain <log> <subnet-or-addr>` — print the inference tree
+/// behind one collected subnet: every positioning verdict and H1–H9
+/// decision the recorded run took about addresses in the prefix,
+/// including why degraded hops degraded.
+pub fn explain(opts: &Opts) -> Result<String, String> {
+    let path = opts.required(0, "exchange log")?;
+    let what = opts.required(1, "subnet prefix (e.g. 10.0.2.0/29) or address")?;
+    let log = obs::ExchangeLog::load(std::path::Path::new(path))?;
+    let prefix: Prefix = if what.contains('/') {
+        what.parse().map_err(|_| format!("invalid prefix {what:?}"))?
+    } else {
+        let addr: Addr = what.parse().map_err(|_| format!("invalid address {what:?}"))?;
+        Prefix::containing(addr, 32)
+    };
+    let mut out = format!("{what}: inference record from {path}\n");
+    let mut matched = false;
+    for (k, &target) in log.header.targets.iter().enumerate() {
+        let session = k as u64;
+        let hits: Vec<&obs::DecisionEvent> = log
+            .decisions_for(session)
+            .filter(|d| d.subject.is_some_and(|a| prefix.contains(a)))
+            .collect();
+        if hits.is_empty() {
+            continue;
+        }
+        matched = true;
+        out.push_str(&format!("\nsession {session} — target {target}\n"));
+        let mut hop = None;
+        for d in hits {
+            if hop != Some(d.hop) {
+                hop = Some(d.hop);
+                out.push_str(&format!("  hop {}\n", d.hop));
+            }
+            let phase = d.phase.map_or("-", |p| p.label());
+            let rule = d.cause.map(|c| format!("/{}", c.label())).unwrap_or_default();
+            let subject = d.subject.map_or_else(|| "-".to_string(), |a| a.to_string());
+            out.push_str(&format!(
+                "    [{phase}{rule}] {} {subject}: {}\n",
+                d.verdict.label(),
+                d.evidence
+            ));
+        }
+    }
+    if !matched {
+        let mut subnets: Vec<String> = log
+            .reports
+            .iter()
+            .flat_map(|(_, r)| r["hops"].as_array().cloned().unwrap_or_default())
+            .filter_map(|h| h["subnet"]["prefix"].as_str().map(str::to_string))
+            .collect();
+        subnets.sort();
+        subnets.dedup();
+        return Err(format!(
+            "no recorded decisions about {what} in {path}\ncollected subnets: {}",
+            if subnets.is_empty() { "(none)".to_string() } else { subnets.join(", ") }
+        ));
+    }
     Ok(out)
 }
 

@@ -42,10 +42,12 @@ COMMANDS:
                               [--retries N] [--backoff none|exp|adaptive]
                               [--fault-profile NAME] [--fault-seed N]
                               [--fault-budget N]
-                              [--trace-log FILE] [--metrics FILE] [-v|-vv]
+                              [--trace-log FILE] [--metrics FILE]
+                              [--metrics-json FILE] [-v|-vv]
                               run tracenet sessions; --trace-log streams one
                               JSON line per probe, --metrics writes per-phase
-                              counters, -v/-vv print span-structured progress;
+                              counters (--metrics-json the compact machine
+                              form), -v/-vv print span-structured progress;
                               --fault-profile injects seeded faults
                               (none|light-loss|heavy-loss|rate-storm|
                               flaky-links|chaos), --retries/--backoff shape
@@ -62,11 +64,28 @@ COMMANDS:
                               [--fault-profile NAME] [--fault-seed N]
                               [--fault-budget N]
                               [--trace-log FILE] [--metrics FILE]
+                              [--metrics-json FILE]
                               trace many targets on a worker pool sharing a
                               cross-session subnet cache; --jobs sets the
                               thread count (default 4), --no-cache disables
                               subnet reuse across sessions; fault and retry
                               flags as in `trace`
+    record <scenario> --out FILE [--targets A,B,..] [--jobs N]
+                              [--vantage NAME] [--protocol icmp|udp|tcp]
+                              [--max-ttl N] [fault/retry flags as in `trace`]
+                              flight recorder: capture every probe exchange,
+                              every heuristic verdict and each session's
+                              final report into one exchange log
+    replay <log>              re-run every session of a recorded exchange log
+                              with no simulator and check each report is
+                              byte-identical to the recorded one
+    diff <a> <b>              compare two exchange logs session by session;
+                              exits nonzero with a divergence report when
+                              they disagree
+    explain <log> <subnet>    print the inference tree of one collected
+                              subnet (or address) from a recorded log:
+                              positioning verdicts, H1-H9 decisions, and why
+                              degraded hops degraded
     eval <scenario> [--protocol icmp|udp|tcp]
                               collect everything and score against ground truth
     map <scenario> [--vantage NAME] [--protocol icmp|udp|tcp]
@@ -91,6 +110,10 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "ping" => commands::ping_cmd(&opts),
         "sweep" => commands::sweep(&opts),
         "batch" => commands::batch(&opts),
+        "record" => commands::record(&opts),
+        "replay" => commands::replay(&opts),
+        "diff" => commands::diff(&opts),
+        "explain" => commands::explain(&opts),
         "eval" => commands::eval(&opts),
         "map" => commands::map(&opts),
         "crossval" => commands::crossval(&opts),

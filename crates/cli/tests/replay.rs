@@ -1,0 +1,182 @@
+//! Flight-recorder acceptance: `record` → `replay` must reproduce
+//! byte-identical reports across seeds and worker counts, `diff` must
+//! flag fault-injected divergence with a readable report, `explain`
+//! must print the inference tree of a collected subnet, and the
+//! checked-in golden log must keep replaying bit-for-bit.
+
+use std::path::PathBuf;
+
+fn run(args: &[&str]) -> Result<String, String> {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    tracenet_cli::run(&argv)
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("tracenet-replay-{tag}-{}.jsonl", std::process::id()));
+    path
+}
+
+/// Generates internet2 under `seed`, records every scenario target
+/// with `jobs` workers, and returns the scenario and log paths.
+fn record_internet2(seed: &str, jobs: &str, tag: &str) -> (PathBuf, PathBuf) {
+    let scenario = temp_path(&format!("scenario-{tag}"));
+    run(&["generate", "internet2", "--seed", seed, "--out", scenario.to_str().unwrap()])
+        .expect("generate succeeds");
+    let log = temp_path(&format!("log-{tag}"));
+    let out = run(&[
+        "record",
+        scenario.to_str().unwrap(),
+        "--out",
+        log.to_str().unwrap(),
+        "--jobs",
+        jobs,
+    ])
+    .expect("record succeeds");
+    assert!(out.contains("recorded"), "{out}");
+    (scenario, log)
+}
+
+fn assert_replays_byte_identically(seed: &str, jobs: &str, tag: &str) {
+    let (scenario, log) = record_internet2(seed, jobs, tag);
+    let out = run(&["replay", log.to_str().unwrap()]).expect("replay succeeds");
+    assert!(out.contains("byte-identical"), "{out}");
+    std::fs::remove_file(scenario).ok();
+    std::fs::remove_file(log).ok();
+}
+
+#[test]
+fn internet2_seed_1_replays_byte_identically_sequential() {
+    assert_replays_byte_identically("1", "1", "s1-j1");
+}
+
+#[test]
+fn internet2_seed_1_replays_byte_identically_concurrent() {
+    assert_replays_byte_identically("1", "8", "s1-j8");
+}
+
+#[test]
+fn internet2_seed_2010_replays_byte_identically_sequential() {
+    assert_replays_byte_identically("2010", "1", "s2010-j1");
+}
+
+#[test]
+fn internet2_seed_2010_replays_byte_identically_concurrent() {
+    assert_replays_byte_identically("2010", "8", "s2010-j8");
+}
+
+#[test]
+fn internet2_seed_424242_replays_byte_identically_sequential() {
+    assert_replays_byte_identically("424242", "1", "s424242-j1");
+}
+
+#[test]
+fn internet2_seed_424242_replays_byte_identically_concurrent() {
+    assert_replays_byte_identically("424242", "8", "s424242-j8");
+}
+
+#[test]
+fn identical_recordings_diff_as_equivalent() {
+    let (scenario, a) = record_internet2("2010", "8", "diff-a");
+    let log_b = temp_path("diff-b");
+    run(&["record", scenario.to_str().unwrap(), "--out", log_b.to_str().unwrap(), "--jobs", "1"])
+        .expect("record succeeds");
+    // Worker count must not affect what was collected.
+    let out = run(&["diff", a.to_str().unwrap(), log_b.to_str().unwrap()])
+        .expect("identical runs are equivalent");
+    assert!(out.contains("equivalent"), "{out}");
+    std::fs::remove_file(scenario).ok();
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(log_b).ok();
+}
+
+#[test]
+fn fault_injection_diffs_as_divergence() {
+    let (scenario, clean) = record_internet2("2010", "1", "fault-clean");
+    let faulty = temp_path("fault-faulty");
+    run(&[
+        "record",
+        scenario.to_str().unwrap(),
+        "--out",
+        faulty.to_str().unwrap(),
+        "--fault-profile",
+        "heavy-loss",
+        "--fault-seed",
+        "7",
+        "--fault-budget",
+        "3",
+    ])
+    .expect("faulty record succeeds");
+    // The CLI maps Err to exit code 2, so an Err here IS the nonzero exit.
+    let report = run(&["diff", clean.to_str().unwrap(), faulty.to_str().unwrap()])
+        .expect_err("fault-injected log must diverge");
+    assert!(report.contains("exchange logs diverge"), "{report}");
+    assert!(report.contains("probe events"), "{report}");
+    assert!(report.contains("session"), "{report}");
+
+    // The faulty log still replays against itself: divergence is
+    // between runs, not a replay failure.
+    let out = run(&["replay", faulty.to_str().unwrap()]).expect("faulty log replays");
+    assert!(out.contains("byte-identical"), "{out}");
+    std::fs::remove_file(scenario).ok();
+    std::fs::remove_file(clean).ok();
+    std::fs::remove_file(faulty).ok();
+}
+
+#[test]
+fn explain_prints_the_inference_tree_of_a_collected_subnet() {
+    let (scenario, log) = record_internet2("2010", "1", "explain");
+    // Pull a collected subnet out of the log's own report lines.
+    let parsed = obs::ExchangeLog::load(&log).expect("log parses");
+    let prefix = parsed
+        .reports
+        .iter()
+        .flat_map(|(_, r)| r["hops"].as_array().cloned().unwrap_or_default())
+        .find_map(|h| h["subnet"]["prefix"].as_str().map(str::to_string))
+        .expect("at least one subnet was collected");
+
+    let out = run(&["explain", log.to_str().unwrap(), &prefix]).expect("explain succeeds");
+    assert!(out.contains(&prefix), "{out}");
+    assert!(out.contains("collected"), "{out}");
+    assert!(out.contains("pivot_designation"), "{out}");
+
+    let err = run(&["explain", log.to_str().unwrap(), "192.0.2.0/29"])
+        .expect_err("unknown subnet is an error");
+    assert!(err.contains("no recorded decisions"), "{err}");
+    assert!(err.contains("collected subnets"), "{err}");
+    std::fs::remove_file(scenario).ok();
+    std::fs::remove_file(log).ok();
+}
+
+#[test]
+fn golden_log_replays_and_matches_a_fresh_recording() {
+    let golden =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/internet2-seed2010.jsonl");
+    let out = run(&["replay", golden.to_str().unwrap()]).expect("golden log replays");
+    assert!(out.contains("byte-identical"), "{out}");
+
+    // Re-recording the same configuration today still matches the
+    // checked-in recording.
+    let parsed = obs::ExchangeLog::load(&golden).expect("golden parses");
+    let targets: Vec<String> = parsed.header.targets.iter().map(|t| t.to_string()).collect();
+    let scenario = temp_path("golden-scenario");
+    run(&["generate", "internet2", "--seed", "2010", "--out", scenario.to_str().unwrap()])
+        .expect("generate succeeds");
+    let fresh = temp_path("golden-fresh");
+    run(&[
+        "record",
+        scenario.to_str().unwrap(),
+        "--out",
+        fresh.to_str().unwrap(),
+        "--targets",
+        &targets.join(","),
+        "--jobs",
+        "1",
+    ])
+    .expect("record succeeds");
+    let out = run(&["diff", golden.to_str().unwrap(), fresh.to_str().unwrap()])
+        .expect("fresh recording matches the golden log");
+    assert!(out.contains("equivalent"), "{out}");
+    std::fs::remove_file(scenario).ok();
+    std::fs::remove_file(fresh).ok();
+}

@@ -87,6 +87,65 @@ fn trace_log_and_metrics_agree_with_the_session_accounting() {
 }
 
 #[test]
+fn metrics_json_writes_one_machine_readable_object() {
+    let scenario_path = temp_path("mj-scenario");
+    run(&[
+        "generate",
+        "random",
+        "--seed",
+        "5",
+        "--size",
+        "4",
+        "--out",
+        scenario_path.to_str().unwrap(),
+    ])
+    .expect("generate succeeds");
+    let scenario =
+        topogen::io::from_json(&std::fs::read_to_string(&scenario_path).unwrap()).unwrap();
+    let target = scenario.targets[0].to_string();
+
+    let metrics_path = temp_path("mj-metrics");
+    let out = run(&[
+        "trace",
+        scenario_path.to_str().unwrap(),
+        "--target",
+        &target,
+        "--json",
+        "--metrics-json",
+        metrics_path.to_str().unwrap(),
+    ])
+    .unwrap();
+    let reports: serde_json::Value = serde_json::from_str(&out).unwrap();
+    let probes = reports[0]["probes"].as_u64().unwrap();
+
+    // One compact JSON object whose totals agree with the session.
+    let text = std::fs::read_to_string(&metrics_path).unwrap();
+    assert_eq!(text.lines().count(), 1, "compact form is a single line");
+    let metrics: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(metrics["total_sent"].as_u64().unwrap(), probes);
+    assert!(!metrics["phase_latency"].is_null(), "wall-tick histograms present");
+
+    // `batch` takes the flag too.
+    let batch_metrics_path = temp_path("mj-batch-metrics");
+    run(&[
+        "batch",
+        scenario_path.to_str().unwrap(),
+        "--jobs",
+        "2",
+        "--metrics-json",
+        batch_metrics_path.to_str().unwrap(),
+    ])
+    .unwrap();
+    let batch_metrics: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&batch_metrics_path).unwrap()).unwrap();
+    assert!(batch_metrics["total_sent"].as_u64().unwrap() > 0);
+
+    std::fs::remove_file(scenario_path).ok();
+    std::fs::remove_file(metrics_path).ok();
+    std::fs::remove_file(batch_metrics_path).ok();
+}
+
+#[test]
 fn metrics_table_is_appended_to_human_output() {
     let scenario_path = temp_path("table-scenario");
     run(&[

@@ -11,6 +11,7 @@
 //! broadcast address, keeping the half that houses the pivot.
 
 use inet::{Addr, Prefix, SubnetRecord};
+use obs::{Cause, DecisionEvent, DecisionVerdict, Recorder};
 use probe::Prober;
 
 use crate::heuristics::{examine, Context, Decision};
@@ -21,9 +22,12 @@ use crate::position::Positioning;
 /// Runs Algorithm 1 around the positioned pivot.
 ///
 /// `trace_prev` is the hop `d−1` trace interface `u` (an H6 entry point
-/// when the subnet is on-the-trace-path).
+/// when the subnet is on-the-trace-path). Growth-control decisions (H1
+/// stop-and-shrink, the utilization stop, H9 boundary reduction, the
+/// final collection) are mirrored into `recorder`'s decision stream.
 pub fn explore<P: Prober>(
     prober: &mut P,
+    recorder: &Recorder,
     pos: &Positioning,
     trace_prev: Option<Addr>,
     opts: &TracenetOptions,
@@ -54,7 +58,7 @@ pub fn explore<P: Prober>(
             if !examined.insert(l) {
                 continue;
             }
-            match examine(prober, &ctx, &record, contra_pivot, l) {
+            match examine(prober, recorder, &ctx, &record, contra_pivot, l) {
                 Decision::Add => {
                     record.insert(l);
                 }
@@ -72,6 +76,15 @@ pub fn explore<P: Prober>(
                     // drop everything outside it.
                     let valid = Prefix::containing(pos.pivot, m + 1);
                     shrink(&mut record, &mut contra_pivot, valid, pos.pivot);
+                    recorder.record_decision(|| DecisionEvent {
+                        session: None,
+                        hop: pos.pivot_dist,
+                        phase: None,
+                        cause: Some(Cause::H1),
+                        subject: Some(l),
+                        verdict: DecisionVerdict::StoppedAndShrunk,
+                        evidence: format!("H{by} violated at {l}; S′ shrunk to {valid}"),
+                    });
                     stop = StopCause::Shrunk { by };
                     level = m + 1;
                     break 'grow;
@@ -82,6 +95,18 @@ pub fn explore<P: Prober>(
         // Lines 19–21: stop growing a /29-or-larger level at most half
         // utilized.
         if opts.utilization_stop && m <= 29 && record.len() as u64 <= sweep.size() / 2 {
+            recorder.record_decision(|| DecisionEvent {
+                session: None,
+                hop: pos.pivot_dist,
+                phase: None,
+                cause: None,
+                subject: Some(pos.pivot),
+                verdict: DecisionVerdict::Underutilized,
+                evidence: format!(
+                    "{} members fill at most half of {sweep}: growth stops",
+                    record.len()
+                ),
+            });
             stop = StopCause::Underutilized;
             break 'grow;
         }
@@ -112,8 +137,40 @@ pub fn explore<P: Prober>(
         stop,
     };
     if opts.heuristics.h9_boundary_reduction {
+        let before = observed.record.prefix();
         boundary_reduce(&mut observed);
+        let after = observed.record.prefix();
+        if after != before {
+            recorder.record_decision(|| DecisionEvent {
+                session: None,
+                hop: pos.pivot_dist,
+                phase: None,
+                cause: Some(Cause::H9),
+                subject: Some(pos.pivot),
+                verdict: DecisionVerdict::BoundaryReduced,
+                evidence: format!("boundary member inside {before}: reduced to {after}"),
+            });
+        }
     }
+    recorder.record_decision(|| DecisionEvent {
+        session: None,
+        hop: pos.pivot_dist,
+        phase: None,
+        cause: None,
+        subject: Some(pos.pivot),
+        verdict: DecisionVerdict::Collected,
+        evidence: format!(
+            "{} with {} members ({})",
+            observed.record.prefix(),
+            observed.record.len(),
+            match observed.stop {
+                StopCause::Shrunk { by } => format!("stopped by H{by}"),
+                StopCause::Underutilized => "stopped by utilization".to_string(),
+                StopCause::PrefixFloor => "grew to the prefix floor".to_string(),
+                StopCause::NotExplored => "not explored".to_string(),
+            }
+        ),
+    });
     observed
 }
 
@@ -190,7 +247,13 @@ mod tests {
         // Everything else in range is silent; growth stops by
         // under-utilization at /29.
         let mut p = CachingProber::new(p);
-        let s = explore(&mut p, &pos("10.0.2.1", 3, "10.0.1.1"), Some(ingress), &opts());
+        let s = explore(
+            &mut p,
+            &Recorder::disabled(),
+            &pos("10.0.2.1", 3, "10.0.1.1"),
+            Some(ingress),
+            &opts(),
+        );
         assert_eq!(s.record.prefix().to_string(), "10.0.2.0/31");
         assert_eq!(s.record.len(), 2);
         assert!(s.is_point_to_point());
@@ -205,7 +268,13 @@ mod tests {
         script_member(&mut p, a("10.0.2.1"), 3, ingress);
         script_member(&mut p, a("10.0.2.2"), 3, ingress);
         let mut p = CachingProber::new(p);
-        let s = explore(&mut p, &pos("10.0.2.2", 3, "10.0.1.1"), Some(ingress), &opts());
+        let s = explore(
+            &mut p,
+            &Recorder::disabled(),
+            &pos("10.0.2.2", 3, "10.0.1.1"),
+            Some(ingress),
+            &opts(),
+        );
         assert_eq!(s.record.prefix().to_string(), "10.0.2.0/30");
         assert_eq!(s.record.len(), 2);
         assert_eq!(s.stop, StopCause::Underutilized);
@@ -227,7 +296,13 @@ mod tests {
             p.script(contra, t, ProbeOutcome::DirectReply { from: contra });
         }
         let mut p = CachingProber::new(p);
-        let s = explore(&mut p, &pos("10.0.2.6", 3, "10.0.1.1"), Some(ingress), &opts());
+        let s = explore(
+            &mut p,
+            &Recorder::disabled(),
+            &pos("10.0.2.6", 3, "10.0.1.1"),
+            Some(ingress),
+            &opts(),
+        );
         assert_eq!(s.record.prefix().to_string(), "10.0.2.0/29");
         assert_eq!(s.record.len(), 6);
         assert_eq!(s.contra_pivot, Some(contra));
@@ -254,7 +329,13 @@ mod tests {
         script_member(&mut p, a("10.0.2.8"), 3, ingress);
         p.script(a("10.0.2.9"), 3, ProbeOutcome::TtlExceeded { from: a("10.0.2.8") });
         let mut p = CachingProber::new(p);
-        let s = explore(&mut p, &pos("10.0.2.3", 3, "10.0.1.1"), Some(ingress), &opts());
+        let s = explore(
+            &mut p,
+            &Recorder::disabled(),
+            &pos("10.0.2.3", 3, "10.0.1.1"),
+            Some(ingress),
+            &opts(),
+        );
         assert_eq!(s.stop, StopCause::Shrunk { by: 7 });
         assert_eq!(s.record.prefix().to_string(), "10.0.2.0/29");
         assert_eq!(s.record.len(), 5);
@@ -272,7 +353,13 @@ mod tests {
         script_member(&mut p, a("10.0.2.1"), 3, ingress);
         script_member(&mut p, a("10.0.2.6"), 3, ingress);
         let mut p = CachingProber::new(p);
-        let s = explore(&mut p, &pos("10.0.2.6", 3, "10.0.1.1"), Some(ingress), &opts());
+        let s = explore(
+            &mut p,
+            &Recorder::disabled(),
+            &pos("10.0.2.6", 3, "10.0.1.1"),
+            Some(ingress),
+            &opts(),
+        );
         // |S| = 2 ≤ 4 after the /29 sweep → stop; covering prefix of
         // {.1, .6} is /29 — an underestimate of the true /28.
         assert_eq!(s.stop, StopCause::Underutilized);
@@ -315,7 +402,13 @@ mod tests {
         o.utilization_stop = false;
         o.min_prefix_len = 28; // keep the sweep small
         let mut p = CachingProber::new(p);
-        let s = explore(&mut p, &pos("10.0.2.1", 3, "10.0.1.1"), Some(ingress), &o);
+        let s = explore(
+            &mut p,
+            &Recorder::disabled(),
+            &pos("10.0.2.1", 3, "10.0.1.1"),
+            Some(ingress),
+            &o,
+        );
         assert_eq!(s.stop, StopCause::PrefixFloor);
     }
 
@@ -330,7 +423,13 @@ mod tests {
         script_member(&mut p, a("10.0.2.1"), 3, ingress);
         let mut p = CachingProber::new(p);
         let before = p.stats().sent;
-        let _ = explore(&mut p, &pos("10.0.2.1", 3, "10.0.1.1"), Some(ingress), &opts());
+        let _ = explore(
+            &mut p,
+            &Recorder::disabled(),
+            &pos("10.0.2.1", 3, "10.0.1.1"),
+            Some(ingress),
+            &opts(),
+        );
         let cost = p.stats().sent - before;
         // H2+H5 on the mate (2 probes incl. shortcut) plus the silent
         // sweep of the /30 and /29 levels (4 more dead addresses probed

@@ -30,7 +30,7 @@
 //!   rules pass without probing.
 
 use inet::Addr;
-use obs::Cause;
+use obs::{Cause, DecisionEvent, DecisionVerdict, Recorder};
 use probe::{ProbeOutcome, Prober};
 
 use crate::options::HeuristicSet;
@@ -83,14 +83,38 @@ impl MemberLookup for inet::SubnetRecord {
     }
 }
 
+/// Emits one heuristic verdict into the decision stream. The phase (and
+/// session) are stamped by the recorder; the cause names the rule that
+/// fired.
+fn decide(
+    recorder: &Recorder,
+    hop: u8,
+    subject: Addr,
+    cause: Cause,
+    verdict: DecisionVerdict,
+    evidence: String,
+) {
+    recorder.record_decision(|| DecisionEvent {
+        session: None,
+        hop,
+        phase: None,
+        cause: Some(cause),
+        subject: Some(subject),
+        verdict,
+        evidence,
+    });
+}
+
 /// Examines candidate `l` against H2–H8.
 ///
 /// `contra_pivot` carries the already-identified contra-pivot, if any;
 /// `members` answers "is this address already accepted". The function
 /// performs only probing and classification — set mutation stays with the
-/// caller.
+/// caller. Every verdict is mirrored into `recorder`'s decision stream
+/// with the rule that produced it and the observed evidence.
 pub fn examine<P: Prober>(
     prober: &mut P,
+    recorder: &Recorder,
     ctx: &Context,
     members: &dyn MemberLookup,
     contra_pivot: Option<Addr>,
@@ -98,6 +122,9 @@ pub fn examine<P: Prober>(
 ) -> Decision {
     debug_assert_ne!(l, ctx.pivot, "the pivot is never examined");
     let jh = ctx.jh;
+    let decide = |cause: Cause, verdict: DecisionVerdict, evidence: String| {
+        decide(recorder, jh, l, cause, verdict, evidence);
+    };
 
     // ---- H2: upper-bound subnet contiguity -------------------------------
     // "ensures that the examined IP address is in use and is not located
@@ -110,14 +137,31 @@ pub fn examine<P: Prober>(
     };
     match aliveness {
         ProbeOutcome::DirectReply { .. } => {}
-        ProbeOutcome::TtlExceeded { .. } => {
+        ProbeOutcome::TtlExceeded { from } => {
             if ctx.set.h2_upper_bound_subnet_contiguity {
+                decide(
+                    Cause::H2,
+                    DecisionVerdict::StoppedAndShrunk,
+                    format!("⟨l,{jh}⟩ ↪ TTL_EXCD from {from}: l lies beyond the subnet"),
+                );
                 return Decision::StopAndShrink { by: 2 };
             }
             // Ablated H2 keeps the aliveness gate but not the stop.
+            decide(
+                Cause::H2,
+                DecisionVerdict::Rejected,
+                format!("⟨l,{jh}⟩ ↪ TTL_EXCD from {from}; H2 ablated, skipping"),
+            );
             return Decision::Skip;
         }
-        _ => return Decision::Skip,
+        other => {
+            decide(
+                Cause::H2,
+                DecisionVerdict::Rejected,
+                format!("⟨l,{jh}⟩ ↪ {other}: not in use here"),
+            );
+            return Decision::Skip;
+        }
     }
 
     // ---- H5: mate-31 subnet contiguity (shortcut) ------------------------
@@ -125,12 +169,22 @@ pub fn examine<P: Prober>(
     // /30 mate qualifies only when the /31 mate is not in use.
     if ctx.set.h5_mate31_shortcut {
         if l == ctx.pivot.mate31() {
+            decide(
+                Cause::H5,
+                DecisionVerdict::Accepted,
+                format!("l is the /31 mate of pivot {}", ctx.pivot),
+            );
             return Decision::Add;
         }
         if l == ctx.pivot.mate30() && {
             let _cause = obs::cause_scope(Cause::H5);
             !matches!(prober.probe(ctx.pivot.mate31(), jh), ProbeOutcome::DirectReply { .. })
         } {
+            decide(
+                Cause::H5,
+                DecisionVerdict::Accepted,
+                format!("l is the /30 mate of pivot {} and its /31 mate is not in use", ctx.pivot),
+            );
             return Decision::Add;
         }
     }
@@ -148,7 +202,12 @@ pub fn examine<P: Prober>(
     // is an ingress-fringe interface → stop-and-shrink.
     if ctx.set.h3_single_contra_pivot {
         if let Some(ProbeOutcome::DirectReply { .. }) = below {
-            if contra_pivot.is_some() {
+            if let Some(cp) = contra_pivot {
+                decide(
+                    Cause::H3,
+                    DecisionVerdict::StoppedAndShrunk,
+                    format!("second contra-pivot candidate; {cp} already holds the role"),
+                );
                 return Decision::StopAndShrink { by: 3 };
             }
             // ---- H4: lower-bound subnet contiguity ------------------
@@ -157,9 +216,19 @@ pub fn examine<P: Prober>(
             if ctx.set.h4_lower_bound_subnet_contiguity && jh >= 3 {
                 let _cause = obs::cause_scope(Cause::H4);
                 if let ProbeOutcome::DirectReply { .. } = prober.probe(l, jh - 2) {
+                    decide(
+                        Cause::H4,
+                        DecisionVerdict::StoppedAndShrunk,
+                        format!("ECHO_RPLY at {}: closer than a contra-pivot can be", jh - 2),
+                    );
                     return Decision::StopAndShrink { by: 4 };
                 }
             }
+            decide(
+                Cause::H3,
+                DecisionVerdict::AcceptedContraPivot,
+                format!("ECHO_RPLY at {}: l sits one hop before the pivot", jh - 1),
+            );
             return Decision::AddContraPivot;
         }
     }
@@ -184,12 +253,26 @@ pub fn examine<P: Prober>(
                 let no_known_entry =
                     ctx.ingress.is_none() && (!ctx.on_path || ctx.trace_prev.is_none());
                 if !valid && !no_known_entry {
+                    decide(
+                        Cause::H6,
+                        DecisionVerdict::StoppedAndShrunk,
+                        format!(
+                            "⟨l,{}⟩ entered via stranger {from}, not ingress {:?}",
+                            jh - 1,
+                            ctx.ingress
+                        ),
+                    );
                     return Decision::StopAndShrink { by: 6 };
                 }
             }
             Some(ProbeOutcome::DirectReply { .. }) => {
                 // Reached only when H3 is ablated: the paper's
                 // "⟨l, jʰ−1⟩ ↪ ⟨i, ECHO_RPLY⟩ → stop-and-shrink" arm.
+                decide(
+                    Cause::H6,
+                    DecisionVerdict::StoppedAndShrunk,
+                    format!("ECHO_RPLY at {} with H3 ablated", jh - 1),
+                );
                 return Decision::StopAndShrink { by: 6 };
             }
             _ => {}
@@ -203,7 +286,12 @@ pub fn examine<P: Prober>(
             // TTL-exceeded when probing the mate at jʰ exposes a far
             // fringe interface (the mate lives one hop beyond S).
             if ctx.set.h7_upper_bound_router_contiguity {
-                if let ProbeOutcome::TtlExceeded { .. } = outcome {
+                if let ProbeOutcome::TtlExceeded { from } = outcome {
+                    decide(
+                        Cause::H7,
+                        DecisionVerdict::StoppedAndShrunk,
+                        format!("mate {mate} expires at {jh} (via {from}): far fringe"),
+                    );
                     return Decision::StopAndShrink { by: 7 };
                 }
             }
@@ -218,11 +306,30 @@ pub fn examine<P: Prober>(
                     matches!(prober.probe(mate, jh - 1), ProbeOutcome::DirectReply { .. })
                 }
             {
+                decide(
+                    Cause::H8,
+                    DecisionVerdict::StoppedAndShrunk,
+                    format!(
+                        "mate {mate} answers at {}: close fringe on the ingress router",
+                        jh - 1
+                    ),
+                );
                 return Decision::StopAndShrink { by: 8 };
             }
         }
     }
 
+    // A clean pass is attributable to no single rule; the cause is left
+    // for the ambient scope (if any) to fill.
+    recorder.record_decision(|| DecisionEvent {
+        session: None,
+        hop: jh,
+        phase: None,
+        cause: None,
+        subject: Some(l),
+        verdict: DecisionVerdict::Accepted,
+        evidence: format!("passed H2–H8 at hop {jh}"),
+    });
     Decision::Add
 }
 
@@ -297,7 +404,7 @@ mod tests {
         p.script(l, 2, ProbeOutcome::TtlExceeded { from: a("10.0.1.1") });
         // mate31(l) = 10.0.2.5: silent; mate30(l) = 10.0.2.6: silent.
         let members = empty_members();
-        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::Add);
+        assert_eq!(examine(&mut p, &Recorder::disabled(), &c, &members, None, l), Decision::Add);
     }
 
     #[test]
@@ -305,7 +412,10 @@ mod tests {
         let c = ctx();
         let mut p = ScriptedProber::new(a("10.0.0.0"));
         let members = empty_members();
-        assert_eq!(examine(&mut p, &c, &members, None, a("10.0.2.5")), Decision::Skip);
+        assert_eq!(
+            examine(&mut p, &Recorder::disabled(), &c, &members, None, a("10.0.2.5")),
+            Decision::Skip
+        );
     }
 
     #[test]
@@ -315,11 +425,14 @@ mod tests {
         let mut p = ScriptedProber::new(a("10.0.0.0"));
         p.script(l, 3, ProbeOutcome::TtlExceeded { from: a("10.0.2.3") });
         let members = empty_members();
-        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::StopAndShrink { by: 2 });
+        assert_eq!(
+            examine(&mut p, &Recorder::disabled(), &c, &members, None, l),
+            Decision::StopAndShrink { by: 2 }
+        );
         // Ablated: same outcome degrades to a skip.
         let mut c2 = ctx();
         c2.set = HeuristicSet::without(2);
-        assert_eq!(examine(&mut p, &c2, &members, None, l), Decision::Skip);
+        assert_eq!(examine(&mut p, &Recorder::disabled(), &c2, &members, None, l), Decision::Skip);
     }
 
     #[test]
@@ -329,7 +442,7 @@ mod tests {
         let mut p = ScriptedProber::new(a("10.0.0.0"));
         p.script(l, 3, ProbeOutcome::DirectReply { from: l });
         let members = empty_members();
-        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::Add);
+        assert_eq!(examine(&mut p, &Recorder::disabled(), &c, &members, None, l), Decision::Add);
         // Only the H2 aliveness probe was needed.
         assert_eq!(p.stats().sent, 1);
     }
@@ -343,7 +456,7 @@ mod tests {
         p.script(l, 3, ProbeOutcome::DirectReply { from: l });
         // mate31 of pivot is NOT in use: shortcut applies.
         let members = empty_members();
-        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::Add);
+        assert_eq!(examine(&mut p, &Recorder::disabled(), &c, &members, None, l), Decision::Add);
         assert_eq!(p.stats().sent, 2, "H2 probe + mate31 aliveness check");
 
         // With mate31 alive the shortcut is off; l becomes the
@@ -353,7 +466,10 @@ mod tests {
         p.script(mate31, 3, ProbeOutcome::DirectReply { from: mate31 });
         p.script(l, 2, ProbeOutcome::DirectReply { from: l });
         // H4 confidence: silent at jh−2 = 1.
-        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::AddContraPivot);
+        assert_eq!(
+            examine(&mut p, &Recorder::disabled(), &c, &members, None, l),
+            Decision::AddContraPivot
+        );
     }
 
     #[test]
@@ -365,7 +481,10 @@ mod tests {
         p.script(l, 2, ProbeOutcome::DirectReply { from: l });
         // jh−2 = 1: silence (not closer than contra) → accept.
         let members = empty_members();
-        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::AddContraPivot);
+        assert_eq!(
+            examine(&mut p, &Recorder::disabled(), &c, &members, None, l),
+            Decision::AddContraPivot
+        );
     }
 
     #[test]
@@ -377,7 +496,7 @@ mod tests {
         p.script(l, 2, ProbeOutcome::DirectReply { from: l });
         let members = empty_members();
         assert_eq!(
-            examine(&mut p, &c, &members, Some(a("10.0.2.1")), l),
+            examine(&mut p, &Recorder::disabled(), &c, &members, Some(a("10.0.2.1")), l),
             Decision::StopAndShrink { by: 3 }
         );
     }
@@ -391,11 +510,17 @@ mod tests {
         p.script(l, 2, ProbeOutcome::DirectReply { from: l });
         p.script(l, 1, ProbeOutcome::DirectReply { from: l }); // answers at jh−2!
         let members = empty_members();
-        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::StopAndShrink { by: 4 });
+        assert_eq!(
+            examine(&mut p, &Recorder::disabled(), &c, &members, None, l),
+            Decision::StopAndShrink { by: 4 }
+        );
         // Ablated H4: accepted as contra-pivot despite the near reply.
         let mut c2 = ctx();
         c2.set = HeuristicSet::without(4);
-        assert_eq!(examine(&mut p, &c2, &members, None, l), Decision::AddContraPivot);
+        assert_eq!(
+            examine(&mut p, &Recorder::disabled(), &c2, &members, None, l),
+            Decision::AddContraPivot
+        );
     }
 
     #[test]
@@ -407,7 +532,10 @@ mod tests {
         // Entered through a router that is neither i nor u.
         p.script(l, 2, ProbeOutcome::TtlExceeded { from: a("10.0.7.7") });
         let members = empty_members();
-        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::StopAndShrink { by: 6 });
+        assert_eq!(
+            examine(&mut p, &Recorder::disabled(), &c, &members, None, l),
+            Decision::StopAndShrink { by: 6 }
+        );
     }
 
     #[test]
@@ -419,14 +547,17 @@ mod tests {
         p.script(l, 3, ProbeOutcome::DirectReply { from: l });
         p.script(l, 2, ProbeOutcome::TtlExceeded { from: a("10.0.1.1") }); // = u
         let members = empty_members();
-        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::Add);
+        assert_eq!(examine(&mut p, &Recorder::disabled(), &c, &members, None, l), Decision::Add);
 
         // Same reply off-path: u is no longer a valid entry point.
         c.on_path = false;
         let mut p2 = ScriptedProber::new(a("10.0.0.0"));
         p2.script(l, 3, ProbeOutcome::DirectReply { from: l });
         p2.script(l, 2, ProbeOutcome::TtlExceeded { from: a("10.0.1.1") });
-        assert_eq!(examine(&mut p2, &c, &members, None, l), Decision::StopAndShrink { by: 6 });
+        assert_eq!(
+            examine(&mut p2, &Recorder::disabled(), &c, &members, None, l),
+            Decision::StopAndShrink { by: 6 }
+        );
     }
 
     #[test]
@@ -439,7 +570,7 @@ mod tests {
         p.script(l, 3, ProbeOutcome::DirectReply { from: l });
         p.script(l, 2, ProbeOutcome::TtlExceeded { from: a("10.0.7.7") });
         let members = empty_members();
-        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::Add);
+        assert_eq!(examine(&mut p, &Recorder::disabled(), &c, &members, None, l), Decision::Add);
     }
 
     #[test]
@@ -452,7 +583,10 @@ mod tests {
         p.script(l, 2, ProbeOutcome::TtlExceeded { from: a("10.0.1.1") });
         p.script(mate, 3, ProbeOutcome::TtlExceeded { from: l });
         let members = empty_members();
-        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::StopAndShrink { by: 7 });
+        assert_eq!(
+            examine(&mut p, &Recorder::disabled(), &c, &members, None, l),
+            Decision::StopAndShrink { by: 7 }
+        );
     }
 
     #[test]
@@ -466,7 +600,10 @@ mod tests {
         // mate31 silent, mate30 expires in transit → far fringe via /30.
         p.script(m30, 3, ProbeOutcome::TtlExceeded { from: l });
         let members = empty_members();
-        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::StopAndShrink { by: 7 });
+        assert_eq!(
+            examine(&mut p, &Recorder::disabled(), &c, &members, None, l),
+            Decision::StopAndShrink { by: 7 }
+        );
     }
 
     #[test]
@@ -480,7 +617,10 @@ mod tests {
         p.script(mate, 3, ProbeOutcome::DirectReply { from: mate });
         p.script(mate, 2, ProbeOutcome::DirectReply { from: mate }); // closer!
         let members = empty_members();
-        assert_eq!(examine(&mut p, &c, &members, None, l), Decision::StopAndShrink { by: 8 });
+        assert_eq!(
+            examine(&mut p, &Recorder::disabled(), &c, &members, None, l),
+            Decision::StopAndShrink { by: 8 }
+        );
     }
 
     #[test]
@@ -494,7 +634,10 @@ mod tests {
         p.script(contra, 3, ProbeOutcome::DirectReply { from: contra });
         p.script(contra, 2, ProbeOutcome::DirectReply { from: contra });
         let members = empty_members();
-        assert_eq!(examine(&mut p, &c, &members, Some(contra), l), Decision::Add);
+        assert_eq!(
+            examine(&mut p, &Recorder::disabled(), &c, &members, Some(contra), l),
+            Decision::Add
+        );
     }
 
     #[test]
@@ -508,7 +651,7 @@ mod tests {
         let mut c2 = c;
         c2.set = HeuristicSet::without(5);
         let members = empty_members();
-        assert_eq!(examine(&mut p, &c2, &members, None, l), Decision::Add);
+        assert_eq!(examine(&mut p, &Recorder::disabled(), &c2, &members, None, l), Decision::Add);
         // No probe to 10.0.2.3's ttl-3 beyond the scripted ones was
         // needed: mate_view returned None.
         assert!(p.misses().iter().all(|&(addr, _)| addr != c.pivot));

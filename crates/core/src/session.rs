@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use inet::Addr;
-use obs::{CacheOutcome, Cause, Level, Phase, Recorder};
+use obs::{CacheOutcome, Cause, DecisionEvent, DecisionVerdict, Level, Phase, Recorder};
 use probe::{CachingProber, FaultBudgetProber, ProbeOutcome, ProbeStats, Prober};
 
 use crate::cache::{CacheLookup, SubnetStore};
@@ -78,11 +78,14 @@ impl<P: Prober> Session<P> {
             let _hop_span = obs::span!(Level::Debug, "hop", "d={d}");
 
             // --- Trace collection: one indirect probe at TTL d. --------
+            let trace_t0 = self.prober.clock();
             let outcome = {
                 let _phase = obs::phase_scope(Phase::Trace);
                 let _cause = obs::cause_scope(Cause::TraceCollection);
                 self.prober.probe(destination, d)
             };
+            self.recorder
+                .record_phase_ticks(Phase::Trace, self.prober.clock().saturating_sub(trace_t0));
             let (addr, reached) = match outcome {
                 ProbeOutcome::TtlExceeded { from } => (Some(from), false),
                 ProbeOutcome::DirectReply { from } => (Some(from), true),
@@ -118,6 +121,15 @@ impl<P: Prober> Session<P> {
                 };
                 if known {
                     record.repeated = true;
+                    self.recorder.record_decision(|| DecisionEvent {
+                        session: None,
+                        hop: d,
+                        phase: Some(Phase::Trace),
+                        cause: None,
+                        subject: Some(v),
+                        verdict: DecisionVerdict::Repeated,
+                        evidence: "already inside a subnet collected at an earlier hop".to_string(),
+                    });
                     obs::trace_event!(Level::Debug, "hop {d}: {v} already subnetized, skipping");
                 } else if let Some(CacheLookup::Hit(outcome)) = lookup {
                     record.cached = true;
@@ -128,25 +140,89 @@ impl<P: Prober> Session<P> {
                     } else {
                         CacheOutcome::Skip
                     });
+                    self.recorder.record_decision(|| DecisionEvent {
+                        session: None,
+                        hop: d,
+                        phase: Some(Phase::Trace),
+                        cause: None,
+                        subject: Some(v),
+                        verdict: if reusable {
+                            DecisionVerdict::CacheHit
+                        } else {
+                            DecisionVerdict::CacheSkip
+                        },
+                        evidence: "resolved from the cross-session subnet cache".to_string(),
+                    });
                     obs::trace_event!(Level::Debug, "hop {d}: {v} resolved from the subnet cache");
                 } else {
                     if lookup.is_some() {
                         self.recorder.record_cache(CacheOutcome::Miss);
                     }
                     let before = self.prober.stats().sent;
+                    let pos_t0 = self.prober.clock();
                     let positioning = {
                         let _phase = obs::phase_scope(Phase::Position);
                         position(&mut self.prober, prev_addr, v, d, &self.opts)
                     };
+                    self.recorder.record_phase_ticks(
+                        Phase::Position,
+                        self.prober.clock().saturating_sub(pos_t0),
+                    );
                     record.cost.position = self.prober.stats().sent - before;
+
+                    match &positioning {
+                        Some(pos) => {
+                            self.recorder.record_decision(|| DecisionEvent {
+                                session: None,
+                                hop: d,
+                                phase: Some(Phase::Position),
+                                cause: Some(Cause::PivotDesignation),
+                                subject: Some(pos.pivot),
+                                verdict: if pos.on_path {
+                                    DecisionVerdict::OnPath
+                                } else {
+                                    DecisionVerdict::OffPath
+                                },
+                                evidence: format!(
+                                    "pivot at jh={} (perceived {}), ingress {}",
+                                    pos.pivot_dist,
+                                    pos.perceived_dist,
+                                    pos.ingress
+                                        .map_or_else(|| "anonymous".to_string(), |i| i.to_string()),
+                                ),
+                            });
+                        }
+                        None => {
+                            self.recorder.record_decision(|| DecisionEvent {
+                                session: None,
+                                hop: d,
+                                phase: Some(Phase::Position),
+                                cause: Some(Cause::PivotDesignation),
+                                subject: Some(v),
+                                verdict: DecisionVerdict::Rejected,
+                                evidence: "positioning designated no pivot".to_string(),
+                            });
+                        }
+                    }
 
                     if let Some(pos) = positioning {
                         if pos.on_path || self.opts.explore_off_path {
                             let before = self.prober.stats().sent;
+                            let explore_t0 = self.prober.clock();
                             let subnet = {
                                 let _phase = obs::phase_scope(Phase::Explore);
-                                explore(&mut self.prober, &pos, prev_addr, &self.opts)
+                                explore(
+                                    &mut self.prober,
+                                    &self.recorder,
+                                    &pos,
+                                    prev_addr,
+                                    &self.opts,
+                                )
                             };
+                            self.recorder.record_phase_ticks(
+                                Phase::Explore,
+                                self.prober.clock().saturating_sub(explore_t0),
+                            );
                             record.cost.explore = self.prober.stats().sent - before;
                             obs::trace_event!(
                                 Level::Debug,
@@ -167,7 +243,34 @@ impl<P: Prober> Session<P> {
             // cross-session store only when the hop is clean: a degraded
             // observation must never be replayed into a healthy session.
             let tripped = self.prober.inner().tripped();
-            record.completeness = classify(&hop_before, &self.prober.stats(), tripped);
+            let hop_stats = self.prober.stats();
+            record.completeness = classify(&hop_before, &hop_stats, tripped);
+            if record.completeness != Completeness::Complete {
+                // Attach the silence cause to the hop's final event so
+                // `tnet explain` can say *why* the hop degraded.
+                let completeness = record.completeness;
+                let fault_timeouts = hop_stats.fault_timeouts() - hop_before.fault_timeouts();
+                self.recorder.record_decision(|| DecisionEvent {
+                    session: None,
+                    hop: d,
+                    phase: None,
+                    cause: None,
+                    subject: addr,
+                    verdict: if completeness == Completeness::Abandoned {
+                        DecisionVerdict::Abandoned
+                    } else {
+                        DecisionVerdict::Degraded
+                    },
+                    evidence: format!(
+                        "{} after {} fault timeout(s); last silence cause: {}",
+                        completeness.label(),
+                        fault_timeouts,
+                        hop_stats
+                            .last_fault_cause
+                            .map_or_else(|| "unknown".to_string(), |c| c.label().to_string()),
+                    ),
+                });
+            }
             if admit && record.completeness == Completeness::Complete {
                 if let (Some(store), Some(v)) = (&self.store, addr) {
                     store.admit(prev_addr, v, d, record.subnet.as_ref());
@@ -581,6 +684,70 @@ mod tests {
             Session::new(&mut prober, TracenetOptions::default()).run(names.addr("dest"));
         assert_eq!(warm.all_addresses(), reference.all_addresses());
         assert_eq!(warm.completeness(), Completeness::Complete);
+    }
+
+    #[test]
+    fn decision_stream_narrates_positioning_and_collection() {
+        use obs::{SinkHandle, VecSink};
+        let (topo, names) = samples::figure3();
+        let mut net = Network::new(topo);
+        let sink = VecSink::new();
+        let reader = sink.clone();
+        let recorder = Recorder::new().with_sink(SinkHandle::new(sink));
+        let mut prober = SimProber::new(&mut net, names.addr("vantage"));
+        let report = Session::new(&mut prober, TracenetOptions::default())
+            .with_recorder(recorder)
+            .run(names.addr("dest"));
+        assert!(report.destination_reached);
+
+        let decisions = reader.decisions();
+        let verdicts: Vec<DecisionVerdict> = decisions.iter().map(|e| e.verdict).collect();
+        assert!(verdicts.contains(&DecisionVerdict::OnPath), "positioning verdicts are logged");
+        assert!(verdicts.contains(&DecisionVerdict::Accepted), "member admissions are logged");
+        assert!(verdicts.contains(&DecisionVerdict::Collected), "each subnet ends in Collected");
+        // One Collected event per explored hop, at that hop's distance.
+        let collected: Vec<u8> = decisions
+            .iter()
+            .filter(|e| e.verdict == DecisionVerdict::Collected)
+            .map(|e| e.hop)
+            .collect();
+        let explored: Vec<u8> =
+            report.hops.iter().filter(|h| h.subnet.is_some()).map(|h| h.hop).collect();
+        assert_eq!(collected, explored);
+        // Heuristic verdicts carry the rule that fired as their cause.
+        assert!(decisions.iter().any(
+            |e| e.verdict == DecisionVerdict::AcceptedContraPivot && e.cause == Some(Cause::H3)
+        ));
+    }
+
+    #[test]
+    fn degraded_hops_log_their_silence_cause() {
+        use netsim::FaultPlan;
+        use obs::{SinkHandle, VecSink};
+        let (topo, names) = samples::chain(2);
+        let plan = FaultPlan { reply_loss: 1.0, ..FaultPlan::new(7) };
+        let mut net = Network::new(topo).with_fault_plan(plan);
+        let sink = VecSink::new();
+        let reader = sink.clone();
+        let recorder = Recorder::new().with_sink(SinkHandle::new(sink));
+        let mut prober = SimProber::new(&mut net, names.addr("vantage"));
+        let opts =
+            TracenetOptions { max_ttl: 3, hop_fault_budget: Some(1), ..TracenetOptions::default() };
+        let report =
+            Session::new(&mut prober, opts).with_recorder(recorder).run(names.addr("dest"));
+        assert!(report.hops.iter().all(|h| h.completeness == Completeness::Abandoned));
+
+        let decisions = reader.decisions();
+        let abandoned: Vec<_> =
+            decisions.iter().filter(|e| e.verdict == DecisionVerdict::Abandoned).collect();
+        assert_eq!(abandoned.len(), report.hops.len(), "one Abandoned event per abandoned hop");
+        for e in abandoned {
+            assert!(
+                e.evidence.contains("last silence cause: reply_loss"),
+                "the fault cause is attached to the hop's final event: {}",
+                e.evidence
+            );
+        }
     }
 
     #[test]

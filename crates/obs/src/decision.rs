@@ -1,0 +1,260 @@
+//! The decision event record: one algorithmic verdict of the collection
+//! pipeline.
+//!
+//! Probe events say what went on the wire; decision events say what the
+//! algorithms concluded from it — which heuristic fired, on which
+//! address, with what evidence. Together they form the flight-recorder
+//! stream that `tnet explain` renders as an inference tree and that
+//! lets a replayed run be audited without re-probing anything.
+
+use std::fmt;
+
+use inet::Addr;
+use serde_json::{json, Value};
+
+use crate::event::{Cause, Phase};
+
+/// What the pipeline concluded at one decision point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DecisionVerdict {
+    /// The subject address was admitted as a subnet member.
+    Accepted,
+    /// The subject was admitted as the subnet's single contra-pivot
+    /// (H3).
+    AcceptedContraPivot,
+    /// The subject was examined and rejected (no heuristic stopped the
+    /// growth; the address is just not a member).
+    Rejected,
+    /// A heuristic fired and exploration stopped, shrinking the subnet
+    /// back one prefix level (`cause` names the heuristic).
+    StoppedAndShrunk,
+    /// The subject was designated the hop's pivot address.
+    Pivot,
+    /// Positioning concluded the hop is on the probing path.
+    OnPath,
+    /// Positioning concluded the hop is off-path.
+    OffPath,
+    /// The hop was resolved from the cross-session subnet cache.
+    CacheHit,
+    /// The cross-session cache matched but reuse was declined.
+    CacheSkip,
+    /// The hop address already belonged to an earlier subnet;
+    /// exploration was skipped.
+    Repeated,
+    /// Exploration stopped growing because the subnet fell below half
+    /// utilization (§3.5).
+    Underutilized,
+    /// H9 boundary reduction halved the collected prefix.
+    BoundaryReduced,
+    /// Exploration finished and the subnet was collected as-is.
+    Collected,
+    /// The hop's observations were degraded by fault-attributed
+    /// timeouts (`evidence` carries the cause).
+    Degraded,
+    /// The per-hop fault budget tripped and the hop was abandoned.
+    Abandoned,
+}
+
+impl DecisionVerdict {
+    /// Every verdict, in declaration order.
+    pub const ALL: [DecisionVerdict; 15] = [
+        DecisionVerdict::Accepted,
+        DecisionVerdict::AcceptedContraPivot,
+        DecisionVerdict::Rejected,
+        DecisionVerdict::StoppedAndShrunk,
+        DecisionVerdict::Pivot,
+        DecisionVerdict::OnPath,
+        DecisionVerdict::OffPath,
+        DecisionVerdict::CacheHit,
+        DecisionVerdict::CacheSkip,
+        DecisionVerdict::Repeated,
+        DecisionVerdict::Underutilized,
+        DecisionVerdict::BoundaryReduced,
+        DecisionVerdict::Collected,
+        DecisionVerdict::Degraded,
+        DecisionVerdict::Abandoned,
+    ];
+
+    /// Stable snake_case label used in JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisionVerdict::Accepted => "accepted",
+            DecisionVerdict::AcceptedContraPivot => "accepted_contra_pivot",
+            DecisionVerdict::Rejected => "rejected",
+            DecisionVerdict::StoppedAndShrunk => "stopped_and_shrunk",
+            DecisionVerdict::Pivot => "pivot",
+            DecisionVerdict::OnPath => "on_path",
+            DecisionVerdict::OffPath => "off_path",
+            DecisionVerdict::CacheHit => "cache_hit",
+            DecisionVerdict::CacheSkip => "cache_skip",
+            DecisionVerdict::Repeated => "repeated",
+            DecisionVerdict::Underutilized => "underutilized",
+            DecisionVerdict::BoundaryReduced => "boundary_reduced",
+            DecisionVerdict::Collected => "collected",
+            DecisionVerdict::Degraded => "degraded",
+            DecisionVerdict::Abandoned => "abandoned",
+        }
+    }
+
+    /// Parses a [`DecisionVerdict::label`] rendering.
+    pub fn from_label(s: &str) -> Option<DecisionVerdict> {
+        DecisionVerdict::ALL.into_iter().find(|v| v.label() == s)
+    }
+}
+
+impl fmt::Display for DecisionVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One verdict of the collection pipeline, with full attribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecisionEvent {
+    /// Session (target index) attribution, mirroring
+    /// [`crate::ProbeEvent::session`].
+    pub session: Option<u64>,
+    /// Hop number (1-based TTL) the decision belongs to, 0 when the
+    /// emitting code has no hop in scope.
+    pub hop: u8,
+    /// The session phase the decision was made in.
+    pub phase: Option<Phase>,
+    /// The algorithm step or heuristic that produced the verdict.
+    pub cause: Option<Cause>,
+    /// The address the verdict is about (candidate member, pivot, hop
+    /// address), when one exists.
+    pub subject: Option<Addr>,
+    /// What was concluded.
+    pub verdict: DecisionVerdict,
+    /// Free-form human-readable evidence ("mate 10.0.1.3 expired at
+    /// d-1", "fault budget tripped after 3 timeouts", ...).
+    pub evidence: String,
+}
+
+impl DecisionEvent {
+    /// Renders the decision as one JSON object. The `"type"` key
+    /// distinguishes it from probe lines in an exchange log.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "type": "decision",
+            "session": self.session,
+            "hop": self.hop,
+            "phase": self.phase.map(Phase::label),
+            "cause": self.cause.map(Cause::label),
+            "subject": self.subject.map(|a| a.to_string()),
+            "verdict": self.verdict.label(),
+            "evidence": self.evidence,
+        })
+    }
+
+    /// Parses a decision back from its [`DecisionEvent::to_json`]
+    /// rendering.
+    pub fn from_json(v: &Value) -> Result<DecisionEvent, String> {
+        let session = match &v["session"] {
+            Value::Null => None,
+            s => Some(s.as_u64().ok_or_else(|| "session: expected unsigned integer".to_string())?),
+        };
+        let hop = v["hop"].as_u64().ok_or_else(|| "hop: expected unsigned integer".to_string())?;
+        if hop > u8::MAX as u64 {
+            return Err(format!("hop: {hop} out of range"));
+        }
+        let phase = match &v["phase"] {
+            Value::Null => None,
+            p => Some(
+                p.as_str()
+                    .and_then(Phase::from_label)
+                    .ok_or_else(|| format!("phase: unknown value {p}"))?,
+            ),
+        };
+        let cause = match &v["cause"] {
+            Value::Null => None,
+            c => Some(
+                c.as_str()
+                    .and_then(Cause::from_label)
+                    .ok_or_else(|| format!("cause: unknown value {c}"))?,
+            ),
+        };
+        let subject = match &v["subject"] {
+            Value::Null => None,
+            s => Some(
+                s.as_str()
+                    .ok_or_else(|| "subject: expected string".to_string())?
+                    .parse()
+                    .map_err(|e| format!("subject: {e}"))?,
+            ),
+        };
+        let verdict_label =
+            v["verdict"].as_str().ok_or_else(|| "verdict: expected string".to_string())?;
+        Ok(DecisionEvent {
+            session,
+            hop: hop as u8,
+            phase,
+            cause,
+            subject,
+            verdict: DecisionVerdict::from_label(verdict_label)
+                .ok_or_else(|| format!("verdict: unknown value {verdict_label:?}"))?,
+            evidence: v["evidence"].as_str().unwrap_or_default().to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DecisionEvent {
+        DecisionEvent {
+            session: Some(2),
+            hop: 4,
+            phase: Some(Phase::Explore),
+            cause: Some(Cause::H6),
+            subject: Some("10.0.3.7".parse().unwrap()),
+            verdict: DecisionVerdict::StoppedAndShrunk,
+            evidence: "stranger 10.0.3.7 expired the probe: fixed entry point violated".into(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let d = sample();
+        assert_eq!(DecisionEvent::from_json(&d.to_json()).unwrap(), d);
+
+        let bare = DecisionEvent {
+            session: None,
+            hop: 0,
+            phase: None,
+            cause: None,
+            subject: None,
+            verdict: DecisionVerdict::Collected,
+            evidence: String::new(),
+        };
+        assert_eq!(DecisionEvent::from_json(&bare.to_json()).unwrap(), bare);
+    }
+
+    #[test]
+    fn json_carries_the_type_tag() {
+        assert_eq!(sample().to_json()["type"].as_str(), Some("decision"));
+    }
+
+    #[test]
+    fn from_json_rejects_bad_fields() {
+        let mut v = sample().to_json();
+        v["verdict"] = json!("vibes");
+        assert!(DecisionEvent::from_json(&v).unwrap_err().contains("verdict"));
+
+        let mut v = sample().to_json();
+        v["hop"] = json!(4000);
+        assert!(DecisionEvent::from_json(&v).unwrap_err().contains("hop"));
+
+        let mut v = sample().to_json();
+        v["cause"] = json!("h99");
+        assert!(DecisionEvent::from_json(&v).unwrap_err().contains("cause"));
+    }
+
+    #[test]
+    fn labels_roundtrip_for_all_verdicts() {
+        for v in DecisionVerdict::ALL {
+            assert_eq!(DecisionVerdict::from_label(v.label()), Some(v));
+        }
+    }
+}

@@ -308,6 +308,45 @@ impl fmt::Display for TimeoutCause {
     }
 }
 
+/// Which flavour of ICMP unreachable an [`Outcome::Unreachable`] attempt
+/// drew. Mirrors the prober's unreachable kinds without depending on it,
+/// so replay tools can rebuild the exact outcome from a log line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnreachReason {
+    /// ICMP host unreachable.
+    Host,
+    /// ICMP network unreachable.
+    Net,
+    /// ICMP administratively prohibited.
+    AdminProhibited,
+}
+
+impl UnreachReason {
+    /// Every reason, in declaration order.
+    pub const ALL: [UnreachReason; 3] =
+        [UnreachReason::Host, UnreachReason::Net, UnreachReason::AdminProhibited];
+
+    /// Stable snake_case label used in JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnreachReason::Host => "host",
+            UnreachReason::Net => "net",
+            UnreachReason::AdminProhibited => "admin_prohibited",
+        }
+    }
+
+    /// Parses an [`UnreachReason::label`] rendering.
+    pub fn from_label(s: &str) -> Option<UnreachReason> {
+        UnreachReason::ALL.into_iter().find(|r| r.label() == s)
+    }
+}
+
+impl fmt::Display for UnreachReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One packet put on the wire, with full attribution. This is the unit
 /// of the JSONL probe log and the input to the metrics registry.
 #[derive(Clone, Debug, PartialEq)]
@@ -315,6 +354,10 @@ pub struct ProbeEvent {
     /// Simulator clock (or wall-relative counter for live probers) at
     /// send time.
     pub tick: u64,
+    /// Session (target index) attribution, set by batch drivers so
+    /// interleaved logs from parallel workers stay separable. `None` for
+    /// standalone probers outside any session.
+    pub session: Option<u64>,
     /// Source address of the probing session.
     pub vantage: Addr,
     /// Probed destination.
@@ -339,9 +382,13 @@ pub struct ProbeEvent {
     /// Why a [`Outcome::Timeout`] attempt drew nothing, when known.
     /// `None` for replies and for probers that cannot attribute silence.
     pub timeout_cause: Option<TimeoutCause>,
+    /// Which unreachable flavour an [`Outcome::Unreachable`] attempt
+    /// drew, when the prober can tell. Replay rebuilds the exact probe
+    /// outcome from this.
+    pub unreach: Option<UnreachReason>,
 }
 
-fn protocol_label(p: Protocol) -> &'static str {
+pub(crate) fn protocol_label(p: Protocol) -> &'static str {
     match p {
         Protocol::Icmp => "icmp",
         Protocol::Udp => "udp",
@@ -349,7 +396,7 @@ fn protocol_label(p: Protocol) -> &'static str {
     }
 }
 
-fn protocol_from_label(s: &str) -> Option<Protocol> {
+pub(crate) fn protocol_from_label(s: &str) -> Option<Protocol> {
     match s {
         "icmp" => Some(Protocol::Icmp),
         "udp" => Some(Protocol::Udp),
@@ -364,6 +411,7 @@ impl ProbeEvent {
     pub fn to_json(&self) -> Value {
         json!({
             "tick": self.tick,
+            "session": self.session,
             "vantage": self.vantage.to_string(),
             "dst": self.dst.to_string(),
             "ttl": self.ttl,
@@ -375,6 +423,7 @@ impl ProbeEvent {
             "phase": self.phase.map(Phase::label),
             "cause": self.cause.map(Cause::label),
             "timeout_cause": self.timeout_cause.map(TimeoutCause::label),
+            "unreach": self.unreach.map(UnreachReason::label),
         })
     }
 
@@ -423,12 +472,25 @@ impl ProbeEvent {
                     .ok_or_else(|| format!("timeout_cause: unknown value {c}"))?,
             ),
         };
+        let unreach = match &v["unreach"] {
+            Value::Null => None,
+            r => Some(
+                r.as_str()
+                    .and_then(UnreachReason::from_label)
+                    .ok_or_else(|| format!("unreach: unknown value {r}"))?,
+            ),
+        };
         let from = match &v["from"] {
             Value::Null => None,
             f => Some(addr(f, "from")?),
         };
+        let session = match &v["session"] {
+            Value::Null => None,
+            s => Some(num(s, "session", u64::MAX)?),
+        };
         Ok(ProbeEvent {
             tick: num(&v["tick"], "tick", u64::MAX)?,
+            session,
             vantage: addr(&v["vantage"], "vantage")?,
             dst: addr(&v["dst"], "dst")?,
             ttl: num(&v["ttl"], "ttl", u8::MAX as u64)? as u8,
@@ -442,6 +504,7 @@ impl ProbeEvent {
             phase,
             cause,
             timeout_cause,
+            unreach,
         })
     }
 }
@@ -453,6 +516,7 @@ mod tests {
     fn sample() -> ProbeEvent {
         ProbeEvent {
             tick: 42,
+            session: Some(3),
             vantage: "10.0.0.1".parse().unwrap(),
             dst: "10.0.9.6".parse().unwrap(),
             ttl: 4,
@@ -464,6 +528,7 @@ mod tests {
             phase: Some(Phase::Explore),
             cause: Some(Cause::H4),
             timeout_cause: None,
+            unreach: None,
         }
     }
 
@@ -472,7 +537,7 @@ mod tests {
         let ev = sample();
         assert_eq!(ProbeEvent::from_json(&ev.to_json()).unwrap(), ev);
 
-        let bare = ProbeEvent { from: None, phase: None, cause: None, ..sample() };
+        let bare = ProbeEvent { from: None, phase: None, cause: None, session: None, ..sample() };
         assert_eq!(ProbeEvent::from_json(&bare.to_json()).unwrap(), bare);
 
         let timed_out = ProbeEvent {
@@ -483,12 +548,24 @@ mod tests {
         };
         assert_eq!(ProbeEvent::from_json(&timed_out.to_json()).unwrap(), timed_out);
 
-        // Logs written before timeout causes existed parse as unattributed.
+        let unreachable = ProbeEvent {
+            outcome: Outcome::Unreachable,
+            from: Some("10.0.3.1".parse().unwrap()),
+            unreach: Some(UnreachReason::AdminProhibited),
+            ..sample()
+        };
+        assert_eq!(ProbeEvent::from_json(&unreachable.to_json()).unwrap(), unreachable);
+
+        // Logs written before timeout causes (PR 3) and session/unreach
+        // tags (PR 4) existed parse as unattributed.
         let mut legacy = sample().to_json();
         if let Value::Object(fields) = &mut legacy {
-            fields.retain(|(k, _)| k != "timeout_cause");
+            fields.retain(|(k, _)| k != "timeout_cause" && k != "session" && k != "unreach");
         }
-        assert_eq!(ProbeEvent::from_json(&legacy).unwrap().timeout_cause, None);
+        let parsed = ProbeEvent::from_json(&legacy).unwrap();
+        assert_eq!(parsed.timeout_cause, None);
+        assert_eq!(parsed.session, None);
+        assert_eq!(parsed.unreach, None);
     }
 
     #[test]
@@ -508,6 +585,10 @@ mod tests {
         let mut v = sample().to_json();
         v["timeout_cause"] = serde_json::json!("gremlins");
         assert!(ProbeEvent::from_json(&v).unwrap_err().contains("timeout_cause"));
+
+        let mut v = sample().to_json();
+        v["unreach"] = serde_json::json!("teapot");
+        assert!(ProbeEvent::from_json(&v).unwrap_err().contains("unreach"));
     }
 
     #[test]
@@ -523,6 +604,9 @@ mod tests {
         }
         for t in TimeoutCause::ALL {
             assert_eq!(TimeoutCause::from_label(t.label()), Some(t));
+        }
+        for r in UnreachReason::ALL {
+            assert_eq!(UnreachReason::from_label(r.label()), Some(r));
         }
         assert_eq!(Cause::H7.heuristic(), Some(7));
         assert_eq!(Cause::IngressQuery.heuristic(), None);

@@ -7,21 +7,29 @@
 //! something each experiment recomputes:
 //!
 //! - [`event::ProbeEvent`] — one record per packet put on the wire, with
-//!   the originating phase and heuristic attached.
+//!   the originating phase, heuristic, and session (target index)
+//!   attached.
+//! - [`decision::DecisionEvent`] — one record per algorithmic verdict of
+//!   the collection pipeline: which heuristic fired, on which address,
+//!   with what evidence. The stream `tnet explain` renders.
+//! - [`exchange`] — the flight-recorder capture format: a versioned
+//!   JSONL log interleaving probes, decisions, and per-session reports,
+//!   parseable back into an [`exchange::ExchangeLog`] for deterministic
+//!   replay and run diffing.
 //! - [`sink::EventSink`] — pluggable event consumers: [`sink::NullSink`],
 //!   [`sink::VecSink`] (tests), [`sink::JsonlSink`] (streaming
-//!   JSON-lines).
+//!   JSON-lines), [`exchange::ExchangeSink`] (the flight recorder).
 //! - [`metrics::Registry`] — thread-safe monotonic counters and
-//!   fixed-bucket histograms keyed by phase and heuristic, with
-//!   human-table and JSON snapshots.
+//!   fixed-bucket histograms keyed by phase and heuristic — including
+//!   per-phase wall-tick latency — with human-table and JSON snapshots.
 //! - [`trace`] — a dependency-free `tracing`-style facade: levelled
 //!   spans and events behind one atomic check, rendered by an
 //!   installable subscriber (the CLI's `-v`/`-vv`).
 //! - [`ctx`] — thread-local phase/cause attribution that the collection
 //!   algorithms set and the probers read, so attribution needs no
 //!   signature changes through the `Prober` seam.
-//! - [`Recorder`] — the handle probers carry: sink + metrics bundled,
-//!   free when disabled.
+//! - [`Recorder`] — the handle probers carry: sink + metrics + session
+//!   tag bundled, free when disabled.
 //!
 //! Everything here is dependency-light by design (inet, wire, and the
 //! vendored serde_json shim) so any crate in the workspace can afford
@@ -31,14 +39,18 @@
 #![warn(missing_docs)]
 
 pub mod ctx;
+pub mod decision;
 pub mod event;
+pub mod exchange;
 pub mod metrics;
 pub mod recorder;
 pub mod sink;
 pub mod trace;
 
 pub use ctx::{cause_scope, phase_scope};
-pub use event::{Cause, Outcome, Phase, ProbeEvent, TimeoutCause};
+pub use decision::{DecisionEvent, DecisionVerdict};
+pub use event::{Cause, Outcome, Phase, ProbeEvent, TimeoutCause, UnreachReason};
+pub use exchange::{ExchangeHeader, ExchangeLog, ExchangeSink, ExchangeWriter, FORMAT_VERSION};
 pub use metrics::{CacheOutcome, MetricsSnapshot, Registry};
 pub use recorder::Recorder;
 pub use sink::{EventSink, JsonlSink, NullSink, SinkHandle, VecSink};

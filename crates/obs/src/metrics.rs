@@ -38,6 +38,15 @@ fn hop_cost_bucket(cost: u64) -> usize {
     HOP_COST_BUCKETS.iter().position(|&hi| cost < hi).unwrap_or(HOP_COST_BUCKETS.len())
 }
 
+/// Phase-latency histogram buckets (wall ticks spent in one phase of one
+/// hop): `[0, 4), [4, 16), [16, 64), [64, 256), [256, 1024),
+/// [1024, 4096), [4096, ∞)`.
+pub const PHASE_TICK_BUCKETS: [u64; 6] = [4, 16, 64, 256, 1024, 4096];
+
+fn phase_tick_bucket(ticks: u64) -> usize {
+    PHASE_TICK_BUCKETS.iter().position(|&hi| ticks < hi).unwrap_or(PHASE_TICK_BUCKETS.len())
+}
+
 /// What a cross-session subnet-cache lookup resolved to. Fed into the
 /// registry by the session driver so saved probes are attributable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -103,6 +112,13 @@ pub struct Registry {
     cache: [AtomicU64; CacheOutcome::ALL.len()],
     /// Timed-out attempts by attributed silence cause.
     timeout_causes: [AtomicU64; TIMEOUT_CAUSES],
+    /// Per-phase wall-tick latency histogram (ticks spent in one phase
+    /// of one hop), fed by the session driver.
+    phase_ticks: [[AtomicU64; PHASE_TICK_BUCKETS.len() + 1]; PHASES],
+    /// Per-phase completed-measurement count backing `phase_ticks`.
+    phase_tick_count: [AtomicU64; PHASES],
+    /// Per-phase total ticks backing `phase_ticks`.
+    phase_tick_total: [AtomicU64; PHASES],
 }
 
 impl Registry {
@@ -138,6 +154,24 @@ impl Registry {
     /// Records one cross-session subnet-cache lookup.
     pub fn record_cache(&self, outcome: CacheOutcome) {
         self.cache[outcome.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the wall-tick latency of one completed phase of one hop.
+    pub fn record_phase_ticks(&self, phase: Phase, ticks: u64) {
+        let slot = phase.index();
+        self.phase_ticks[slot][phase_tick_bucket(ticks)].fetch_add(1, Ordering::Relaxed);
+        self.phase_tick_count[slot].fetch_add(1, Ordering::Relaxed);
+        self.phase_tick_total[slot].fetch_add(ticks, Ordering::Relaxed);
+    }
+
+    /// Completed phase-latency measurements for `phase` so far.
+    pub fn phase_tick_count(&self, phase: Phase) -> u64 {
+        self.phase_tick_count[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total wall ticks measured in `phase` so far.
+    pub fn phase_tick_total(&self, phase: Phase) -> u64 {
+        self.phase_tick_total[phase.index()].load(Ordering::Relaxed)
     }
 
     /// Cache lookups that resolved to `outcome` so far.
@@ -182,6 +216,11 @@ impl Registry {
             hop_cost_hist: std::array::from_fn(|i| load(&self.hop_cost_hist[i])),
             cache: std::array::from_fn(|i| load(&self.cache[i])),
             timeout_causes: std::array::from_fn(|i| load(&self.timeout_causes[i])),
+            phase_ticks: std::array::from_fn(|i| {
+                std::array::from_fn(|j| load(&self.phase_ticks[i][j]))
+            }),
+            phase_tick_count: std::array::from_fn(|i| load(&self.phase_tick_count[i])),
+            phase_tick_total: std::array::from_fn(|i| load(&self.phase_tick_total[i])),
         }
     }
 }
@@ -198,6 +237,9 @@ pub struct MetricsSnapshot {
     hop_cost_hist: [u64; HOP_COST_BUCKETS.len() + 1],
     cache: [u64; CacheOutcome::ALL.len()],
     timeout_causes: [u64; TIMEOUT_CAUSES],
+    phase_ticks: [[u64; PHASE_TICK_BUCKETS.len() + 1]; PHASES],
+    phase_tick_count: [u64; PHASES],
+    phase_tick_total: [u64; PHASES],
 }
 
 impl MetricsSnapshot {
@@ -248,6 +290,16 @@ impl MetricsSnapshot {
     /// Outcome count for `phase`.
     pub fn outcome_in(&self, phase: Phase, outcome: Outcome) -> u64 {
         self.outcomes[phase.index()][outcome.index()]
+    }
+
+    /// Completed phase-latency measurements for `phase`.
+    pub fn phase_tick_count(&self, phase: Phase) -> u64 {
+        self.phase_tick_count[phase.index()]
+    }
+
+    /// Total wall ticks measured in `phase`.
+    pub fn phase_tick_total(&self, phase: Phase) -> u64 {
+        self.phase_tick_total[phase.index()]
     }
 
     /// Renders the snapshot as an aligned human-readable table.
@@ -308,6 +360,28 @@ impl MetricsSnapshot {
                 self.cache_count(CacheOutcome::Miss),
                 self.cache_lookups(),
             );
+        }
+        if Phase::ALL.iter().any(|&p| self.phase_tick_count(p) > 0) {
+            let _ = writeln!(
+                out,
+                "\n{:<14} {:>8} {:>10} {:>10}",
+                "phase latency", "hops", "ticks", "avg"
+            );
+            for phase in Phase::ALL {
+                let count = self.phase_tick_count(phase);
+                if count == 0 {
+                    continue;
+                }
+                let total = self.phase_tick_total(phase);
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:>8} {:>10} {:>10.1}",
+                    phase.label(),
+                    count,
+                    total,
+                    total as f64 / count as f64,
+                );
+            }
         }
         out
     }
@@ -374,6 +448,31 @@ impl MetricsSnapshot {
                 .map(|c| (c.label().to_string(), json!(self.timeout_causes[c.index()])))
                 .collect(),
         );
+        let phase_latency = Value::Object(
+            Phase::ALL
+                .into_iter()
+                .map(|p| {
+                    let slot = p.index();
+                    let buckets = Value::Array(
+                        PHASE_TICK_BUCKETS
+                            .iter()
+                            .map(|b| b.to_string())
+                            .chain(std::iter::once("inf".to_string()))
+                            .zip(self.phase_ticks[slot].iter())
+                            .map(|(le, &count)| json!({ "le": le, "count": count }))
+                            .collect(),
+                    );
+                    (
+                        p.label().to_string(),
+                        json!({
+                            "count": self.phase_tick_count[slot],
+                            "total_ticks": self.phase_tick_total[slot],
+                            "buckets": buckets,
+                        }),
+                    )
+                })
+                .collect(),
+        );
         json!({
             "total_sent": self.sent_total(),
             "phases": Value::Object(phases),
@@ -382,6 +481,7 @@ impl MetricsSnapshot {
             "hop_cost_histogram": hop_hist,
             "cache": cache,
             "timeout_causes": timeout_causes,
+            "phase_latency": phase_latency,
         })
     }
 }
@@ -394,6 +494,7 @@ mod tests {
     fn ev(phase: Option<Phase>, cause: Option<Cause>, ttl: u8, attempt: u8) -> ProbeEvent {
         ProbeEvent {
             tick: 0,
+            session: None,
             vantage: "10.0.0.1".parse().unwrap(),
             dst: "10.0.9.6".parse().unwrap(),
             ttl,
@@ -405,6 +506,7 @@ mod tests {
             phase,
             cause,
             timeout_cause: if attempt > 0 { Some(TimeoutCause::PolicySilence) } else { None },
+            unreach: None,
         }
     }
 
@@ -502,6 +604,40 @@ mod tests {
         reg.record(&ev(Some(Phase::Trace), None, 3, 0));
         let table = reg.snapshot().render_table();
         assert!(!table.contains("subnet cache"), "{table}");
+    }
+
+    #[test]
+    fn phase_tick_histogram_accumulates_and_renders() {
+        let reg = Registry::new();
+        reg.record_phase_ticks(Phase::Trace, 3);
+        reg.record_phase_ticks(Phase::Explore, 100);
+        reg.record_phase_ticks(Phase::Explore, 5000);
+        assert_eq!(reg.phase_tick_count(Phase::Explore), 2);
+        assert_eq!(reg.phase_tick_total(Phase::Explore), 5100);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.phase_tick_count(Phase::Trace), 1);
+        assert_eq!(snap.phase_tick_total(Phase::Trace), 3);
+
+        let v = snap.to_json();
+        assert_eq!(v["phase_latency"]["explore"]["count"], 2u64);
+        assert_eq!(v["phase_latency"]["explore"]["total_ticks"], 5100u64);
+        // 100 lands in [64, 256); 5000 overflows into the "inf" bucket.
+        assert_eq!(v["phase_latency"]["explore"]["buckets"][3]["count"], 1u64);
+        assert_eq!(v["phase_latency"]["explore"]["buckets"][6]["le"], "inf");
+        assert_eq!(v["phase_latency"]["explore"]["buckets"][6]["count"], 1u64);
+
+        let table = snap.render_table();
+        assert!(table.contains("phase latency"), "{table}");
+        assert!(table.contains("2550.0"), "explore average rendered: {table}");
+    }
+
+    #[test]
+    fn phase_latency_section_hidden_without_measurements() {
+        let reg = Registry::new();
+        reg.record(&ev(Some(Phase::Trace), None, 3, 0));
+        let table = reg.snapshot().render_table();
+        assert!(!table.contains("phase latency"), "{table}");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use std::sync::Arc;
 
 use crate::ctx;
-use crate::event::ProbeEvent;
+use crate::decision::DecisionEvent;
+use crate::event::{Phase, ProbeEvent};
 use crate::metrics::Registry;
 use crate::sink::SinkHandle;
 
@@ -22,6 +23,7 @@ use crate::sink::SinkHandle;
 pub struct Recorder {
     sink: SinkHandle,
     metrics: Option<Arc<Registry>>,
+    session: Option<u64>,
 }
 
 impl Recorder {
@@ -48,6 +50,19 @@ impl Recorder {
         self
     }
 
+    /// Tags every event this recorder emits with a session (target
+    /// index) id. Batch drivers clone the run's recorder once per
+    /// target, so interleaved worker streams stay separable in the log.
+    pub fn with_session(mut self, session: u64) -> Recorder {
+        self.session = Some(session);
+        self
+    }
+
+    /// The session tag events are stamped with, if any.
+    pub fn session(&self) -> Option<u64> {
+        self.session
+    }
+
     /// Whether any observer is attached.
     pub fn is_enabled(&self) -> bool {
         self.sink.is_enabled() || self.metrics.is_some()
@@ -70,10 +85,36 @@ impl Recorder {
         let (phase, cause) = ctx::current();
         event.phase = phase;
         event.cause = cause;
+        event.session = self.session;
         if let Some(metrics) = &self.metrics {
             metrics.record(&event);
         }
         self.sink.emit(&event);
+    }
+
+    /// Records one pipeline decision. `build` runs only when a sink is
+    /// attached; the recorder stamps the session tag and the thread's
+    /// current phase/cause attribution (when the builder left them
+    /// unset) before dispatching. Decisions feed sinks only — the
+    /// metrics registry counts wire traffic.
+    pub fn record_decision(&self, build: impl FnOnce() -> DecisionEvent) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        let mut decision = build();
+        let (phase, cause) = ctx::current();
+        decision.phase = decision.phase.or(phase);
+        decision.cause = decision.cause.or(cause);
+        decision.session = self.session;
+        self.sink.emit_decision(&decision);
+    }
+
+    /// Records the wall-tick latency of one completed session phase, if
+    /// metrics are attached.
+    pub fn record_phase_ticks(&self, phase: Phase, ticks: u64) {
+        if let Some(metrics) = &self.metrics {
+            metrics.record_phase_ticks(phase, ticks);
+        }
     }
 
     /// Records the probe cost of one collected hop, if metrics are
@@ -108,6 +149,7 @@ mod tests {
     fn ev() -> ProbeEvent {
         ProbeEvent {
             tick: 1,
+            session: None,
             vantage: "10.0.0.1".parse().unwrap(),
             dst: "10.0.9.6".parse().unwrap(),
             ttl: 5,
@@ -119,6 +161,7 @@ mod tests {
             phase: None,
             cause: None,
             timeout_cause: None,
+            unreach: None,
         }
     }
 
@@ -162,5 +205,42 @@ mod tests {
         recorder.record(ev);
         recorder.record_hop_cost(4);
         assert_eq!(metrics.sent_total(), 1);
+    }
+
+    #[test]
+    fn session_tag_stamps_probes_and_decisions() {
+        use crate::decision::{DecisionEvent, DecisionVerdict};
+
+        let sink = VecSink::new();
+        let reader = sink.clone();
+        let recorder = Recorder::new().with_sink(SinkHandle::new(sink)).with_session(5);
+        assert_eq!(recorder.session(), Some(5));
+
+        recorder.record(ev);
+        {
+            let _p = crate::phase_scope(Phase::Position);
+            recorder.record_decision(|| DecisionEvent {
+                session: None,
+                hop: 2,
+                phase: None,
+                cause: Some(Cause::OnPathCheck),
+                subject: None,
+                verdict: DecisionVerdict::OnPath,
+                evidence: String::new(),
+            });
+        }
+
+        assert_eq!(reader.events()[0].session, Some(5));
+        let decisions = reader.decisions();
+        assert_eq!(decisions[0].session, Some(5));
+        assert_eq!(decisions[0].phase, Some(Phase::Position), "ctx phase stamped");
+        assert_eq!(decisions[0].cause, Some(Cause::OnPathCheck), "explicit cause kept");
+    }
+
+    #[test]
+    fn decisions_need_a_sink_not_metrics() {
+        let metrics = Arc::new(Registry::new());
+        let recorder = Recorder::new().with_metrics(Arc::clone(&metrics));
+        recorder.record_decision(|| unreachable!("no sink: closure must not run"));
     }
 }

@@ -3,6 +3,7 @@
 use std::io::{self, BufWriter, Write};
 use std::sync::{Arc, Mutex};
 
+use crate::decision::DecisionEvent;
 use crate::event::ProbeEvent;
 
 /// A consumer of probe events.
@@ -13,6 +14,12 @@ use crate::event::ProbeEvent;
 pub trait EventSink: Send {
     /// Consumes one event.
     fn emit(&mut self, event: &ProbeEvent);
+
+    /// Consumes one decision event. Defaults to a no-op: most sinks
+    /// (including [`JsonlSink`], whose probe-log format promises one
+    /// line per wire probe) only care about wire traffic. The exchange
+    /// log overrides this to interleave decisions with probes.
+    fn emit_decision(&mut self, _decision: &DecisionEvent) {}
 
     /// Flushes any buffered output; called at session boundaries.
     fn flush(&mut self) -> io::Result<()> {
@@ -44,6 +51,7 @@ impl EventSink for NullSink {
 #[derive(Clone, Debug, Default)]
 pub struct VecSink {
     events: Arc<Mutex<Vec<ProbeEvent>>>,
+    decisions: Arc<Mutex<Vec<DecisionEvent>>>,
 }
 
 impl VecSink {
@@ -55,6 +63,11 @@ impl VecSink {
     /// Snapshot of everything collected so far.
     pub fn events(&self) -> Vec<ProbeEvent> {
         self.events.lock().expect("VecSink lock").clone()
+    }
+
+    /// Snapshot of the decisions collected so far.
+    pub fn decisions(&self) -> Vec<DecisionEvent> {
+        self.decisions.lock().expect("VecSink lock").clone()
     }
 
     /// Number of events collected so far.
@@ -71,6 +84,10 @@ impl VecSink {
 impl EventSink for VecSink {
     fn emit(&mut self, event: &ProbeEvent) {
         self.events.lock().expect("VecSink lock").push(event.clone());
+    }
+
+    fn emit_decision(&mut self, decision: &DecisionEvent) {
+        self.decisions.lock().expect("VecSink lock").push(decision.clone());
     }
 }
 
@@ -146,6 +163,13 @@ impl SinkHandle {
         }
     }
 
+    /// Sends one decision to the sink, if any.
+    pub fn emit_decision(&self, decision: &DecisionEvent) {
+        if let Some(sink) = &self.inner {
+            sink.lock().expect("sink lock").emit_decision(decision);
+        }
+    }
+
     /// Flushes the sink, if any.
     pub fn flush(&self) -> io::Result<()> {
         match &self.inner {
@@ -170,6 +194,7 @@ mod tests {
     fn ev(ttl: u8) -> ProbeEvent {
         ProbeEvent {
             tick: ttl as u64,
+            session: None,
             vantage: "10.0.0.1".parse().unwrap(),
             dst: "10.0.9.6".parse().unwrap(),
             ttl,
@@ -181,6 +206,19 @@ mod tests {
             phase: Some(Phase::Trace),
             cause: None,
             timeout_cause: None,
+            unreach: None,
+        }
+    }
+
+    fn decision() -> DecisionEvent {
+        DecisionEvent {
+            session: None,
+            hop: 1,
+            phase: Some(Phase::Explore),
+            cause: None,
+            subject: None,
+            verdict: crate::decision::DecisionVerdict::Collected,
+            evidence: "done".into(),
         }
     }
 
@@ -218,5 +256,24 @@ mod tests {
             .map(|l| ProbeEvent::from_json(&serde_json::from_str(l).unwrap()).unwrap())
             .collect();
         assert_eq!(parsed, vec![ev(3), ev(7)]);
+    }
+
+    #[test]
+    fn vec_sink_stores_decisions_separately() {
+        let sink = VecSink::new();
+        let reader = sink.clone();
+        let handle = SinkHandle::new(sink);
+        handle.emit(&ev(1));
+        handle.emit_decision(&decision());
+        assert_eq!(reader.len(), 1, "decisions do not count as probe events");
+        assert_eq!(reader.decisions().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_ignores_decisions_keeping_one_line_per_probe() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(&ev(3));
+        sink.emit_decision(&decision());
+        assert_eq!(sink.lines(), 1);
     }
 }

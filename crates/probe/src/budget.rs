@@ -80,6 +80,10 @@ impl<P: Prober> Prober for FaultBudgetProber<P> {
     fn stats(&self) -> ProbeStats {
         self.inner.stats()
     }
+
+    fn clock(&self) -> u64 {
+        self.inner.clock()
+    }
 }
 
 #[cfg(test)]

@@ -82,6 +82,10 @@ impl<P: Prober> Prober for CachingProber<P> {
     fn stats(&self) -> ProbeStats {
         self.inner.stats()
     }
+
+    fn clock(&self) -> u64 {
+        self.inner.clock()
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,7 @@ mod budget;
 mod cache;
 mod outcome;
 mod prober;
+mod replay;
 mod retry;
 mod scripted;
 mod shared;
@@ -41,6 +42,7 @@ pub use budget::FaultBudgetProber;
 pub use cache::CachingProber;
 pub use outcome::{ProbeOutcome, UnreachKind};
 pub use prober::{FlowMode, ProbeStats, Prober};
+pub use replay::ReplayProber;
 pub use retry::{RetryPolicy, DEFAULT_RETRIES};
 pub use scripted::ScriptedProber;
 pub use shared::{SharedNetwork, SharedSimProber};

@@ -18,6 +18,27 @@ pub enum UnreachKind {
     AdminProhibited,
 }
 
+impl UnreachKind {
+    /// The observability-vocabulary rendering of this kind, for event
+    /// logs.
+    pub fn reason(self) -> obs::UnreachReason {
+        match self {
+            UnreachKind::Host => obs::UnreachReason::Host,
+            UnreachKind::Net => obs::UnreachReason::Net,
+            UnreachKind::AdminProhibited => obs::UnreachReason::AdminProhibited,
+        }
+    }
+
+    /// Rebuilds the kind from its logged rendering (replay).
+    pub fn from_reason(reason: obs::UnreachReason) -> UnreachKind {
+        match reason {
+            obs::UnreachReason::Host => UnreachKind::Host,
+            obs::UnreachReason::Net => UnreachKind::Net,
+            obs::UnreachReason::AdminProhibited => UnreachKind::AdminProhibited,
+        }
+    }
+}
+
 /// The outcome of a single probe, in the notation of the paper:
 /// `⟨ip, ttl⟩ ↪ ⟨source, RESPONSE_MSG_TYPE⟩`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -83,6 +104,15 @@ impl ProbeOutcome {
             ProbeOutcome::Timeout => (obs::Outcome::Timeout, None),
         }
     }
+
+    /// The unreachable flavour, for event logs; `None` unless this is an
+    /// [`ProbeOutcome::Unreachable`].
+    pub(crate) fn unreach_reason(&self) -> Option<obs::UnreachReason> {
+        match *self {
+            ProbeOutcome::Unreachable { kind, .. } => Some(kind.reason()),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ProbeOutcome {
@@ -124,6 +154,16 @@ mod tests {
         assert!(!ProbeOutcome::Unreachable { from: a("1.1.1.1"), kind: UnreachKind::Net }
             .is_silentish());
         assert!(!ProbeOutcome::DirectReply { from: a("1.1.1.1") }.is_silentish());
+    }
+
+    #[test]
+    fn unreach_kinds_roundtrip_through_the_log_vocabulary() {
+        for kind in [UnreachKind::Host, UnreachKind::Net, UnreachKind::AdminProhibited] {
+            assert_eq!(UnreachKind::from_reason(kind.reason()), kind);
+        }
+        let u = ProbeOutcome::Unreachable { from: a("1.1.1.1"), kind: UnreachKind::Net };
+        assert_eq!(u.unreach_reason(), Some(obs::UnreachReason::Net));
+        assert_eq!(ProbeOutcome::Timeout.unreach_reason(), None);
     }
 
     #[test]

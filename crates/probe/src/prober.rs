@@ -47,6 +47,10 @@ pub struct ProbeStats {
     /// Final timeouts attributed to reply rate limiting. Subset of
     /// `timeouts`.
     pub timeouts_rate_limited: u64,
+    /// The cause of the most recent fault-attributed timeout (the one
+    /// that last bumped `timeouts_loss` or `timeouts_rate_limited`).
+    /// Lets the session say *why* a hop degraded, not just that it did.
+    pub last_fault_cause: Option<TimeoutCause>,
 }
 
 impl ProbeStats {
@@ -61,8 +65,14 @@ impl ProbeStats {
             ProbeOutcome::Timeout => {
                 self.timeouts += 1;
                 match cause {
-                    Some(c) if c.is_fault() => self.timeouts_loss += 1,
-                    Some(TimeoutCause::RateLimited) => self.timeouts_rate_limited += 1,
+                    Some(c) if c.is_fault() => {
+                        self.timeouts_loss += 1;
+                        self.last_fault_cause = Some(c);
+                    }
+                    Some(TimeoutCause::RateLimited) => {
+                        self.timeouts_rate_limited += 1;
+                        self.last_fault_cause = Some(TimeoutCause::RateLimited);
+                    }
                     _ => {}
                 }
             }
@@ -106,6 +116,13 @@ pub trait Prober {
 
     /// Accumulated counters.
     fn stats(&self) -> ProbeStats;
+
+    /// The prober's notion of elapsed time, in wall ticks. Simulated
+    /// probers expose the network clock; probers with no clock report 0
+    /// (latency measurements then read as zero-width, never wrong).
+    fn clock(&self) -> u64 {
+        0
+    }
 }
 
 /// Blanket impl so `&mut P` is a prober too (lets a session borrow its
@@ -125,6 +142,10 @@ impl<P: Prober + ?Sized> Prober for &mut P {
 
     fn stats(&self) -> ProbeStats {
         (**self).stats()
+    }
+
+    fn clock(&self) -> u64 {
+        (**self).clock()
     }
 }
 
@@ -160,5 +181,10 @@ mod tests {
         assert_eq!(s.timeouts_loss, 3);
         assert_eq!(s.timeouts_rate_limited, 1);
         assert_eq!(s.fault_timeouts(), 4, "ordinary silence never counts as a fault");
+        assert_eq!(
+            s.last_fault_cause,
+            Some(TimeoutCause::RateLimited),
+            "ordinary silence does not overwrite the last fault cause"
+        );
     }
 }

@@ -110,6 +110,7 @@ impl Prober for ScriptedProber {
             let (kind, from) = outcome.observed();
             ProbeEvent {
                 tick,
+                session: None,
                 vantage: self.src,
                 dst,
                 ttl,
@@ -121,6 +122,7 @@ impl Prober for ScriptedProber {
                 phase: None,
                 cause: None,
                 timeout_cause: None,
+                unreach: outcome.unreach_reason(),
             }
         });
         outcome
@@ -128,6 +130,10 @@ impl Prober for ScriptedProber {
 
     fn stats(&self) -> ProbeStats {
         self.stats
+    }
+
+    fn clock(&self) -> u64 {
+        self.stats.sent
     }
 }
 

@@ -145,6 +145,7 @@ impl Prober for SharedSimProber {
                 let (kind, from) = outcome.observed();
                 ProbeEvent {
                     tick,
+                    session: None,
                     vantage: self.src,
                     dst,
                     ttl,
@@ -156,6 +157,7 @@ impl Prober for SharedSimProber {
                     phase: None,
                     cause: None,
                     timeout_cause: cause,
+                    unreach: outcome.unreach_reason(),
                 }
             });
             if outcome != ProbeOutcome::Timeout {
@@ -170,6 +172,10 @@ impl Prober for SharedSimProber {
 
     fn stats(&self) -> ProbeStats {
         self.stats
+    }
+
+    fn clock(&self) -> u64 {
+        self.net.with(|n| n.tick())
     }
 }
 

@@ -254,6 +254,7 @@ impl Prober for SimProber<'_> {
                 let (kind, from) = outcome.observed();
                 ProbeEvent {
                     tick,
+                    session: None,
                     vantage: self.src,
                     dst,
                     ttl,
@@ -265,6 +266,7 @@ impl Prober for SimProber<'_> {
                     phase: None,
                     cause: None,
                     timeout_cause: cause,
+                    unreach: outcome.unreach_reason(),
                 }
             });
             if outcome != ProbeOutcome::Timeout {
@@ -279,6 +281,10 @@ impl Prober for SimProber<'_> {
 
     fn stats(&self) -> ProbeStats {
         self.stats
+    }
+
+    fn clock(&self) -> u64 {
+        self.net.tick()
     }
 }
 

@@ -123,12 +123,15 @@ pub fn run_batch(
             .iter()
             .enumerate()
             .map(|(k, &target)| {
+                // Tag every event of this session with its target index,
+                // so multiplexed logs partition cleanly per target.
+                let recorder = recorder.clone().with_session(k as u64);
                 let prober = net
                     .prober(vantage, cfg.protocol)
                     .ident(block.get(k))
                     .retry_policy(cfg.retry)
                     .recorder(recorder.clone());
-                run_session(prober, target, cfg.opts, store.clone(), recorder)
+                run_session(prober, target, cfg.opts, store.clone(), &recorder)
             })
             .collect();
         return finish(reports, cache);
@@ -141,12 +144,13 @@ pub fn run_batch(
             scope.spawn(|| loop {
                 let k = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&target) = targets.get(k) else { break };
+                let recorder = recorder.clone().with_session(k as u64);
                 let prober = net
                     .prober(vantage, cfg.protocol)
                     .ident(block.get(k))
                     .retry_policy(cfg.retry)
                     .recorder(recorder.clone());
-                let report = run_session(prober, target, cfg.opts, store.clone(), recorder);
+                let report = run_session(prober, target, cfg.opts, store.clone(), &recorder);
                 done.lock().push((k, report));
             });
         }
@@ -179,11 +183,12 @@ pub fn run_batch_seq(
         .iter()
         .enumerate()
         .map(|(k, &target)| {
+            let recorder = recorder.clone().with_session(k as u64);
             let prober = SimProber::with_protocol(net, vantage, cfg.protocol)
                 .ident(block.get(k))
                 .retry_policy(cfg.retry)
                 .recorder(recorder.clone());
-            run_session(prober, target, cfg.opts, store.clone(), recorder)
+            run_session(prober, target, cfg.opts, store.clone(), &recorder)
         })
         .collect();
     finish(reports, cache)
@@ -326,6 +331,40 @@ mod tests {
             .reports
             .iter()
             .all(|r| r.completeness() == tracenet::Completeness::Complete));
+    }
+
+    #[test]
+    fn concurrent_batch_events_partition_cleanly_by_session() {
+        use obs::{Cause, Recorder, SinkHandle, VecSink};
+        let (topo, names) = samples::figure3();
+        let shared = SharedNetwork::new(Network::new(topo));
+        let targets: Vec<Addr> =
+            std::iter::repeat_n([names.addr("dest"), names.addr("R5.n")], 4).flatten().collect();
+        let sink = VecSink::new();
+        let reader = sink.clone();
+        let recorder = Recorder::new().with_sink(SinkHandle::new(sink));
+        let cfg = BatchConfig { jobs: 8, ..BatchConfig::default() };
+        let result = run_batch(&shared, names.addr("vantage"), &targets, &cfg, &recorder);
+        assert_eq!(result.reports.len(), targets.len());
+
+        let events = reader.events();
+        assert!(!events.is_empty());
+        let mut seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for e in &events {
+            let k = e.session.expect("every batch event carries a session tag") as usize;
+            assert!(k < targets.len(), "session {k} out of range");
+            seen.insert(k as u64);
+            // Trace-collection probes unambiguously identify their
+            // session's target: session k only ever traces targets[k].
+            if e.cause == Some(Cause::TraceCollection) {
+                assert_eq!(e.dst, targets[k], "session {k} traced a foreign target");
+            }
+        }
+        assert_eq!(seen.len(), targets.len(), "all eight sessions emitted events");
+        // Decisions are tagged the same way.
+        for d in reader.decisions() {
+            assert!(d.session.is_some_and(|k| (k as usize) < targets.len()));
+        }
     }
 
     #[test]
