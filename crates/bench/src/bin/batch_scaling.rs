@@ -1,0 +1,71 @@
+//! Emits `BENCH_batch.json`: wall-time jobs-scaling of the batch
+//! collector on internet2 and a random topology.
+//!
+//! ```text
+//! batch_scaling [--smoke] [--gate] [--rtt-us N] [--seed N]
+//! ```
+//!
+//! * `--smoke`  — small target list and short RTT (CI-sized run).
+//! * `--gate`   — exit nonzero if the highest jobs value is *slower*
+//!   than jobs=1 on internet2 (a regression backstop, not a flaky
+//!   threshold).
+//! * `--rtt-us` — modeled per-probe round trip in microseconds
+//!   (default 200 full / 100 smoke).
+//! * `--seed`   — topology seed (default 2010).
+
+use std::time::Duration;
+
+use bench_suite::{scaling_experiment, scaling_json, write_bench_json};
+use topogen::{internet2, random_topology};
+
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+
+fn flag_value(args: &[String], name: &str) -> Option<u64> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate = args.iter().any(|a| a == "--gate");
+    let seed = flag_value(&args, "--seed").unwrap_or(2010);
+    let default_rtt = if smoke { 100 } else { 200 };
+    let rtt = Duration::from_micros(flag_value(&args, "--rtt-us").unwrap_or(default_rtt));
+    let max_targets = if smoke { 48 } else { usize::MAX };
+
+    let mut points = Vec::new();
+
+    let i2 = internet2(seed);
+    eprintln!("scaling {} (rtt {rtt:?}, jobs {JOBS:?}) ...", i2.name);
+    points.extend(scaling_experiment(&i2, &JOBS, rtt, max_targets));
+
+    let rand = random_topology(seed, if smoke { 10 } else { 12 });
+    eprintln!("scaling {} ...", rand.name);
+    points.extend(scaling_experiment(&rand, &JOBS, rtt, max_targets.min(64)));
+
+    for p in &points {
+        eprintln!(
+            "  {:<12} jobs={} wall={:>8.1?} probes={} ({:.0}/s) speedup={:.2}x",
+            p.network, p.jobs, p.wall, p.probes, p.probes_per_sec, p.speedup
+        );
+    }
+
+    let path = write_bench_json("batch", &scaling_json(rtt, &points)).expect("write BENCH_batch");
+    println!("wrote {path}");
+
+    if gate {
+        let i2_points: Vec<_> = points.iter().filter(|p| p.network == i2.name).collect();
+        let last = i2_points.last().expect("points");
+        if last.speedup < 1.0 {
+            eprintln!(
+                "REGRESSION: {} jobs={} is slower than jobs=1 ({:.2}x)",
+                last.network, last.jobs, last.speedup
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "gate ok: {} jobs={} speedup {:.2}x >= 1.0",
+            last.network, last.jobs, last.speedup
+        );
+    }
+}

@@ -194,11 +194,9 @@ pub fn accuracy_experiment_with(scenario: Scenario, args: &ExpArgs) -> AccuracyR
     let wall_ticks = shared.with(|net| net.tick());
     let mut classifications = classify(&gt, &collected.records());
 
-    let audit_agreement = shared.with(|net| {
-        let mut auditor = probe::SimProber::new(net, vantage);
-        let log = evalkit::audit::audit_classifications(&mut auditor, &mut classifications);
-        evalkit::audit::audit_agreement(&log, &gt)
-    });
+    let mut auditor = shared.prober(vantage, probe::Protocol::Icmp);
+    let log = evalkit::audit::audit_classifications(&mut auditor, &mut classifications);
+    let audit_agreement = evalkit::audit::audit_agreement(&log, &gt);
 
     let bounds = PrefixBounds::from_classifications(&classifications);
     AccuracyResult {

@@ -10,5 +10,7 @@
 
 pub mod experiments;
 pub mod paper;
+pub mod scaling;
 
 pub use experiments::*;
+pub use scaling::{scaling_experiment, scaling_json, ScalePoint};

@@ -349,9 +349,10 @@ pub fn sweep(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
-/// `tracenet batch <scenario> [--targets A,B,..] [--jobs N] [--no-cache]`
-/// — trace many targets on a worker pool over one shared network, with
-/// a cross-session subnet cache unless `--no-cache` is given.
+/// `tracenet batch <scenario> [--targets A,B,..] [--jobs N] [--no-cache]
+/// [--rtt-us N]` — trace many targets on a worker pool over one shared
+/// network, with a cross-session subnet cache unless `--no-cache` is
+/// given; `--rtt-us` models a per-probe round-trip time.
 pub fn batch(opts: &Opts) -> Result<String, String> {
     let scenario = load(opts)?;
     let v = vantage(&scenario, opts)?;
@@ -366,6 +367,9 @@ pub fn batch(opts: &Opts) -> Result<String, String> {
         protocol: proto,
         opts: tn_opts,
         retry: retry_policy(opts)?,
+        // `--rtt-us N` models an N-microsecond probe round trip, making
+        // the batch latency-bound (where --jobs overlaps the waits).
+        probe_rtt: std::time::Duration::from_micros(opts.flag_parse("rtt-us", 0u64)?),
     };
     let mut net = Network::new(scenario.topology.clone());
     net.set_fault_plan(fault_plan(opts)?);
@@ -607,6 +611,7 @@ pub fn record(opts: &Opts) -> Result<String, String> {
         protocol: proto,
         opts: tn_opts,
         retry: retry_policy(opts)?,
+        probe_rtt: std::time::Duration::ZERO,
     };
     let mut net = Network::new(scenario.topology.clone());
     net.set_fault_plan(fault_plan(opts)?);

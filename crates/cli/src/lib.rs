@@ -59,7 +59,8 @@ COMMANDS:
     sweep <scenario> --prefix P [--vantage NAME]
                               ping every address of a prefix (§4.1.1 audit)
     batch <scenario> [--targets A,B,..] [--jobs N] [--no-cache]
-                              [--vantage NAME] [--protocol icmp|udp|tcp] [--json]
+                              [--rtt-us N] [--vantage NAME]
+                              [--protocol icmp|udp|tcp] [--json]
                               [--retries N] [--backoff none|exp|adaptive]
                               [--fault-profile NAME] [--fault-seed N]
                               [--fault-budget N]
@@ -68,7 +69,9 @@ COMMANDS:
                               trace many targets on a worker pool sharing a
                               cross-session subnet cache; --jobs sets the
                               thread count (default 4), --no-cache disables
-                              subnet reuse across sessions; fault and retry
+                              subnet reuse across sessions, --rtt-us models a
+                              per-probe round-trip time in microseconds
+                              (latency that --jobs overlaps); fault and retry
                               flags as in `trace`
     record <scenario> --out FILE [--targets A,B,..] [--jobs N]
                               [--vantage NAME] [--protocol icmp|udp|tcp]

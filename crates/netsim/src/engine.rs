@@ -25,8 +25,30 @@
 //! the caller directly. The paper's algorithms never reason about reverse
 //! hop counts, only about *which* address answered and *what kind* of
 //! message it sent.
+//!
+//! # Concurrency
+//!
+//! The engine is split for lock-free parallel probing (see DESIGN.md,
+//! "Engine concurrency & the probe hot path"):
+//!
+//! * [`ConcurrentNetwork`] is the shared engine: an immutable core
+//!   (`Arc<Topology>` + `Arc<RoutingTable>`, read without any lock) plus
+//!   the minimal mutable state — an atomic tick clock and per-router
+//!   token-bucket / round-robin / storm counters behind per-router
+//!   sharded locks. Every injection method takes `&self`, so any number
+//!   of worker threads probe simultaneously; a probe only touches a
+//!   router's lock when that router actually rate-limits, storms, or
+//!   balances per packet.
+//! * [`Network`] is the sequential facade: the same engine plus an owned
+//!   trace buffer, preserving the original `&mut self` API. A `Network`
+//!   used from one thread is byte-identical to the pre-split engine —
+//!   every walk decision is a pure function of the injection's tick.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use inet::Addr;
+use parking_lot::Mutex;
 use wire::{builder, IcmpMessage, Packet, Payload, UnreachableCode};
 
 use crate::events::{Event, SilenceReason};
@@ -73,48 +95,70 @@ struct Bucket {
     initialized: bool,
 }
 
-/// A live network: topology + routing + mutable engine state (clock, rate
-/// limiter buckets, per-packet load-balancer counters, optional event
-/// trace).
-pub struct Network {
-    topo: Topology,
-    routing: RoutingTable,
-    tick: u64,
-    buckets: Vec<Bucket>,
-    rr: Vec<u64>,
-    fluctuation_period: Option<u64>,
-    trace: Option<Vec<Event>>,
-    fault: Option<FaultPlan>,
-    /// Per-router `(storm window id, replies used)` counters.
-    storm_counts: Vec<(u64, u32)>,
+/// The mutable per-router engine state: rate-limiter bucket, per-packet
+/// round-robin counter, and the storm-window reply count.
+#[derive(Clone, Copy, Default)]
+struct RouterState {
+    bucket: Bucket,
+    rr: u64,
+    /// `(storm window id, replies used)`.
+    storm: (u64, u32),
 }
 
-impl Network {
-    /// Builds a network over a validated topology (computes routing).
-    pub fn new(topo: Topology) -> Network {
+/// One router's lock shard, padded to a cache line so adjacent routers'
+/// locks never false-share under concurrent probing.
+#[repr(align(64))]
+#[derive(Default)]
+struct Slot {
+    state: Mutex<RouterState>,
+}
+
+/// An optional per-injection event sink; `None` costs nothing on the hot
+/// path.
+type Sink<'a> = Option<&'a mut Vec<Event>>;
+
+/// A live network shareable across probe worker threads: immutable
+/// topology + routing behind `Arc`s, an atomic packet clock, and
+/// per-router sharded counters. All probing methods take `&self`.
+///
+/// Decisions for one injection are pure functions of the tick that
+/// injection claimed from the atomic clock, so a single-threaded caller
+/// observes exactly the classic sequential engine; concurrent callers
+/// contend only on the per-router shards they actually touch.
+pub struct ConcurrentNetwork {
+    topo: Arc<Topology>,
+    routing: Arc<RoutingTable>,
+    tick: AtomicU64,
+    fluctuation_period: Option<u64>,
+    fault: Option<FaultPlan>,
+    slots: Vec<Slot>,
+}
+
+impl ConcurrentNetwork {
+    /// Builds a concurrent network over a validated topology (computes
+    /// routing, including the precomputed ECMP next-hop arena).
+    pub fn new(topo: Topology) -> ConcurrentNetwork {
         let routing = RoutingTable::compute(&topo);
         let n = topo.router_count();
-        Network {
-            topo,
-            routing,
-            tick: 0,
-            buckets: vec![Bucket::default(); n],
-            rr: vec![0; n],
+        ConcurrentNetwork {
+            topo: Arc::new(topo),
+            routing: Arc::new(routing),
+            tick: AtomicU64::new(0),
             fluctuation_period: None,
-            trace: None,
             fault: None,
-            storm_counts: vec![(0, 0); n],
+            slots: (0..n).map(|_| Slot::default()).collect(),
         }
     }
 
     /// Installs a seeded fault plan (builder form). A zero plan (see
     /// [`FaultPlan::is_zero`]) leaves behavior bit-identical to no plan.
-    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Network {
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> ConcurrentNetwork {
         self.fault = Some(plan);
         self
     }
 
-    /// Installs or clears the fault plan at runtime.
+    /// Installs or clears the fault plan. Setup-time only: requires
+    /// exclusive access, so a plan can never change mid-probe.
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
         self.fault = plan;
     }
@@ -124,32 +168,21 @@ impl Network {
         self.fault
     }
 
-    /// Advances the engine clock by `ticks` without injecting anything —
-    /// idle time, as spent by backoff delays between retries. Rate-limit
-    /// buckets refill naturally because refills are computed from tick
-    /// deltas, and scheduled faults (flaps, storms, withdrawals) move
-    /// along with the clock.
-    pub fn advance(&mut self, ticks: u64) {
-        self.tick += ticks;
-    }
-
     /// Enables path fluctuations: every `period` injected packets the ECMP
     /// hash epoch advances, re-rolling load-balancer decisions (§3.7).
-    pub fn with_fluctuation(mut self, period: u64) -> Network {
+    pub fn with_fluctuation(mut self, period: u64) -> ConcurrentNetwork {
         assert!(period > 0, "fluctuation period must be positive");
         self.fluctuation_period = Some(period);
         self
     }
 
-    /// Starts recording a per-injection event trace (for tests/debugging).
-    pub fn enable_trace(&mut self) {
-        self.trace = Some(Vec::new());
-    }
-
-    /// The events of the most recent injection (empty unless
-    /// [`enable_trace`](Network::enable_trace) was called).
-    pub fn last_trace(&self) -> &[Event] {
-        self.trace.as_deref().unwrap_or(&[])
+    /// Advances the engine clock by `ticks` without injecting anything —
+    /// idle time, as spent by backoff delays between retries. Rate-limit
+    /// buckets refill naturally because refills are computed from tick
+    /// deltas, and scheduled faults (flaps, storms, withdrawals) move
+    /// along with the clock.
+    pub fn advance(&self, ticks: u64) {
+        self.tick.fetch_add(ticks, Ordering::Relaxed);
     }
 
     /// The underlying topology (ground truth for evaluation).
@@ -164,7 +197,7 @@ impl Network {
 
     /// Number of packets injected so far (the engine clock).
     pub fn tick(&self) -> u64 {
-        self.tick
+        self.tick.load(Ordering::Relaxed)
     }
 
     /// Ground-truth hop distance from the host owning `vantage` to the
@@ -178,52 +211,77 @@ impl Network {
         (d != crate::routing::UNREACHABLE).then_some(d)
     }
 
-    /// Injects raw wire bytes; the canonical entry point for probers.
-    pub fn inject_bytes(&mut self, bytes: &[u8]) -> Verdict {
-        match Packet::decode(bytes) {
-            Ok(p) => self.inject(&p),
-            Err(_) => {
-                self.tick += 1;
-                Verdict::Silent(SilenceReason::Malformed)
-            }
-        }
+    /// Claims the next tick for one injection.
+    fn bump_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Injects a probe packet and walks it to a verdict.
-    pub fn inject(&mut self, probe: &Packet) -> Verdict {
-        self.tick += 1;
-        if let Some(t) = self.trace.as_mut() {
+    pub fn inject(&self, probe: &Packet) -> Verdict {
+        let tick = self.bump_tick();
+        self.inject_with(probe, tick, &mut None)
+    }
+
+    /// [`ConcurrentNetwork::inject`], recording this injection's walk
+    /// events into `trace` (cleared first). The buffer is caller-owned,
+    /// so concurrent tracers never interleave.
+    pub fn inject_traced(&self, probe: &Packet, trace: &mut Vec<Event>) -> Verdict {
+        let tick = self.bump_tick();
+        self.inject_with(probe, tick, &mut Some(trace))
+    }
+
+    /// Injects raw wire bytes; the canonical entry point for probers.
+    pub fn inject_bytes(&self, bytes: &[u8]) -> Verdict {
+        self.inject_bytes_ticked(bytes).0
+    }
+
+    /// [`ConcurrentNetwork::inject_bytes`], also returning the tick this
+    /// injection claimed — under concurrency `tick()` after the fact may
+    /// already include other workers' probes, so probers that timestamp
+    /// events must use the claimed tick.
+    pub fn inject_bytes_ticked(&self, bytes: &[u8]) -> (Verdict, u64) {
+        match Packet::decode(bytes) {
+            Ok(p) => {
+                let tick = self.bump_tick();
+                (self.inject_with(&p, tick, &mut None), tick)
+            }
+            Err(_) => (Verdict::Silent(SilenceReason::Malformed), self.bump_tick()),
+        }
+    }
+
+    fn inject_with(&self, probe: &Packet, tick: u64, sink: &mut Sink<'_>) -> Verdict {
+        if let Some(t) = sink.as_deref_mut() {
             t.clear();
         }
         obs::trace_event!(
             obs::Level::Trace,
             "net: inject tick={} {} -> {} ttl={} proto={:?}",
-            self.tick,
+            tick,
             probe.header.src,
             probe.header.dst,
             probe.header.ttl,
             probe.header.protocol
         );
-        let verdict = self.walk(probe);
+        let verdict = self.walk(probe, tick, sink);
         // Reverse-path loss: the reply was generated (tokens spent, trace
         // logged) but never makes it back to the caller.
         let verdict = match verdict {
-            Verdict::Reply(_) if self.fault.is_some_and(|plan| plan.drops_reply(self.tick)) => {
+            Verdict::Reply(_) if self.fault.is_some_and(|plan| plan.drops_reply(tick)) => {
                 Verdict::Silent(SilenceReason::ReplyLoss)
             }
             v => v,
         };
         if let Verdict::Silent(reason) = &verdict {
-            self.log(Event::Dropped { reason: *reason });
+            self.log(sink, Event::Dropped { reason: *reason });
         }
         verdict
     }
 
-    fn log(&mut self, e: Event) {
+    fn log(&self, sink: &mut Sink<'_>, e: Event) {
         if obs::trace::enabled(obs::Level::Trace) {
             obs::trace::dispatch(obs::Level::Trace, &format!("net: {}", self.describe(&e)));
         }
-        if let Some(t) = self.trace.as_mut() {
+        if let Some(t) = sink.as_deref_mut() {
             t.push(e);
         }
     }
@@ -243,7 +301,7 @@ impl Network {
         }
     }
 
-    fn walk(&mut self, probe: &Packet) -> Verdict {
+    fn walk(&self, probe: &Packet, tick: u64, sink: &mut Sink<'_>) -> Verdict {
         let origin = match self.topo.owner_of(probe.header.src) {
             Some(r) => r,
             None => return Verdict::Silent(SilenceReason::UnknownSource),
@@ -262,23 +320,6 @@ impl Network {
         if target_router.is_none() && dst_subnet.is_none() {
             return Verdict::Silent(SilenceReason::NoRoute);
         }
-        // Routers directly attached to the destination subnet (delivery
-        // points for unassigned addresses).
-        let subnet_routers: Vec<RouterId> = match (target_router, dst_subnet) {
-            (None, Some(sn)) => {
-                let mut v: Vec<RouterId> = self
-                    .topo
-                    .subnet(sn)
-                    .ifaces
-                    .iter()
-                    .map(|&i| self.topo.iface(i).router)
-                    .collect();
-                v.sort_unstable();
-                v.dedup();
-                v
-            }
-            _ => Vec::new(),
-        };
 
         let flow = flow_key(probe);
         let mut current = origin;
@@ -286,7 +327,7 @@ impl Network {
         let mut ttl = probe.header.ttl;
 
         for step in 0..MAX_WALK {
-            self.log(Event::Arrived { at: current, ttl });
+            self.log(sink, Event::Arrived { at: current, ttl });
 
             // 1. Delivery check (before TTL processing, as real stacks do).
             let deliver_here = match target_router {
@@ -294,86 +335,108 @@ impl Network {
                 None => self.topo.iface_on(current, dst_subnet.unwrap()).is_some(),
             };
             if deliver_here {
-                self.log(Event::Delivered { at: current });
-                return self.deliver(probe, current, prev_subnet, origin, assigned_iface);
+                self.log(sink, Event::Delivered { at: current });
+                return self.deliver(
+                    probe,
+                    current,
+                    prev_subnet,
+                    origin,
+                    assigned_iface,
+                    tick,
+                    sink,
+                );
             }
 
             // 2. TTL decrement — but not at the originating host itself.
             if step > 0 {
                 ttl -= 1;
                 if ttl == 0 {
-                    self.log(Event::TtlExpired { at: current });
-                    return self.ttl_exceeded(probe, current, prev_subnet, origin);
+                    self.log(sink, Event::TtlExpired { at: current });
+                    return self.ttl_exceeded(probe, current, prev_subnet, origin, tick, sink);
                 }
             }
 
-            // 3. Forward.
-            let mut hops = match target_router {
-                Some(tr) => self.routing.next_hops(&self.topo, current, tr),
-                None => match self.routing.nearest(current, subnet_routers.iter().copied()) {
-                    Some((nearest, _)) => self.routing.next_hops(&self.topo, current, nearest),
-                    None => Vec::new(),
+            // 3. Forward, from the precomputed ECMP arena — no per-hop
+            // allocation. Unassigned destinations route toward the
+            // subnet's ingress: the attached router nearest to here.
+            let hops: &[(RouterId, SubnetId)] = match target_router {
+                Some(tr) => self.routing.next_hops(current, tr),
+                None => match self.routing.ingress(current, dst_subnet.unwrap()) {
+                    Some(nearest) => self.routing.next_hops(current, nearest),
+                    None => &[],
                 },
             };
             if hops.is_empty() {
                 return Verdict::Silent(SilenceReason::NoRoute);
             }
-            if let Some(plan) = self.fault {
-                let tick = self.tick;
-                hops.retain(|&(_, sn)| !plan.link_down(tick, sn));
-                if hops.is_empty() {
-                    return Verdict::Silent(SilenceReason::LinkDown);
+            // Fault-plan link filtering without materializing the
+            // filtered list: count the live hops, balance over that
+            // count, then index into the same filtered sequence —
+            // exactly what retain-then-choose produced.
+            let (next, via) = match self.fault {
+                Some(plan) => {
+                    let up = |&&(_, sn): &&(RouterId, SubnetId)| !plan.link_down(tick, sn);
+                    let live = hops.iter().filter(up).count();
+                    if live == 0 {
+                        return Verdict::Silent(SilenceReason::LinkDown);
+                    }
+                    let idx = self.lb_index(current, live, flow, tick);
+                    if live == hops.len() {
+                        hops[idx]
+                    } else {
+                        *hops.iter().filter(up).nth(idx).expect("idx < live")
+                    }
                 }
-            }
-            let (next, via) = self.choose(current, &hops, flow);
+                None => hops[self.lb_index(current, hops.len(), flow, tick)],
+            };
             if let Some(plan) = self.fault {
-                if plan.drops_forward(self.tick, step as u64, via, current) {
+                if plan.drops_forward(tick, step as u64, via, current) {
                     return Verdict::Silent(SilenceReason::ForwardLoss);
                 }
             }
-            self.log(Event::Forwarded { from: current, to: next });
+            self.log(sink, Event::Forwarded { from: current, to: next });
             current = next;
             prev_subnet = Some(via);
         }
         Verdict::Silent(SilenceReason::NoRoute)
     }
 
-    /// Picks one ECMP next hop deterministically.
-    fn choose(
-        &mut self,
-        at: RouterId,
-        hops: &[(RouterId, SubnetId)],
-        flow: u64,
-    ) -> (RouterId, SubnetId) {
-        if hops.len() == 1 {
-            return hops[0];
+    /// Picks the index of one ECMP next hop among `len` candidates
+    /// deterministically. Per-flow balancing is a pure hash; per-packet
+    /// balancing takes the router's shard lock for its counter — and
+    /// neither touches the lock when the choice is forced.
+    fn lb_index(&self, at: RouterId, len: usize, flow: u64, tick: u64) -> usize {
+        if len == 1 {
+            return 0;
         }
-        let idx = match self.topo.router(at).config.lb {
+        match self.topo.router(at).config.lb {
             LbMode::PerFlow => {
                 let epoch = match self.fluctuation_period {
-                    Some(p) => self.tick / p,
+                    Some(p) => tick / p,
                     None => 0,
                 };
-                (mix(flow ^ mix(at.0 as u64 ^ (epoch << 32))) % hops.len() as u64) as usize
+                (mix(flow ^ mix(at.0 as u64 ^ (epoch << 32))) % len as u64) as usize
             }
             LbMode::PerPacket => {
-                let c = &mut self.rr[at.0 as usize];
-                *c += 1;
-                (*c % hops.len() as u64) as usize
+                let mut st = self.slots[at.0 as usize].state.lock();
+                st.rr += 1;
+                (st.rr % len as u64) as usize
             }
-        };
-        hops[idx]
+        }
     }
 
     /// Direct delivery: the probe reached the router owning its
     /// destination (or the destination subnet, for unassigned addresses).
+    #[allow(clippy::too_many_arguments)]
     fn deliver(
-        &mut self,
+        &self,
         probe: &Packet,
         at: RouterId,
         prev_subnet: Option<SubnetId>,
         origin: RouterId,
         assigned_iface: Option<crate::topology::IfaceId>,
+        tick: u64,
+        sink: &mut Sink<'_>,
     ) -> Verdict {
         let proto = probe.header.protocol;
         let config = self.topo.router(at).config;
@@ -394,11 +457,11 @@ impl Network {
             let Some(src) = self.reply_src(config.indirect, at, prev_subnet, origin, None) else {
                 return Verdict::Silent(SilenceReason::PolicySilence);
             };
-            if !self.take_token(at) {
+            if !self.take_token(at, tick) {
                 return Verdict::Silent(SilenceReason::RateLimited);
             }
             let reply = builder::unreachable(probe, src, UnreachableCode::Host);
-            self.log(Event::Replied { from: at, src });
+            self.log(sink, Event::Replied { from: at, src });
             return Verdict::Reply(reply);
         };
 
@@ -424,20 +487,22 @@ impl Network {
             }
             Payload::Tcp(_) => return Verdict::Silent(SilenceReason::PolicySilence),
         };
-        if !self.take_token(at) {
+        if !self.take_token(at, tick) {
             return Verdict::Silent(SilenceReason::RateLimited);
         }
-        self.log(Event::Replied { from: at, src });
+        self.log(sink, Event::Replied { from: at, src });
         Verdict::Reply(reply)
     }
 
     /// TTL expired at `at`.
     fn ttl_exceeded(
-        &mut self,
+        &self,
         probe: &Packet,
         at: RouterId,
         prev_subnet: Option<SubnetId>,
         origin: RouterId,
+        tick: u64,
+        sink: &mut Sink<'_>,
     ) -> Verdict {
         let config = self.topo.router(at).config;
         if !config.indirect_protos.allows(probe.header.protocol) {
@@ -452,11 +517,11 @@ impl Network {
         let Some(src) = self.reply_src(policy, at, prev_subnet, origin, None) else {
             return Verdict::Silent(SilenceReason::TtlExpiredSilently);
         };
-        if !self.take_token(at) {
+        if !self.take_token(at, tick) {
             return Verdict::Silent(SilenceReason::RateLimited);
         }
         let reply = builder::ttl_exceeded(probe, src);
-        self.log(Event::Replied { from: at, src });
+        self.log(sink, Event::Replied { from: at, src });
         Verdict::Reply(reply)
     }
 
@@ -480,7 +545,7 @@ impl Network {
                 self.incoming_addr(at, prev_subnet).or(probed).or_else(first_iface_addr)
             }
             ResponsePolicy::ShortestPath => {
-                let hops = self.routing.next_hops(&self.topo, at, origin);
+                let hops = self.routing.next_hops(at, origin);
                 let via = hops.first().map(|&(_, sn)| sn).or(prev_subnet)?;
                 self.topo.iface_on(at, via).map(|i| self.topo.iface(i).addr)
             }
@@ -496,29 +561,35 @@ impl Network {
     /// Consumes one rate-limit token at `at`, if a limiter is configured.
     /// During a fault-plan storm window the router is additionally capped
     /// to the storm's per-window reply budget.
-    fn take_token(&mut self, at: RouterId) -> bool {
-        if let Some(plan) = self.fault {
-            if let Some((window, capacity)) = plan.storm_window(self.tick, at) {
-                let slot = &mut self.storm_counts[at.0 as usize];
-                if slot.0 != window {
-                    *slot = (window, 0);
-                }
-                if slot.1 >= capacity {
-                    return false;
-                }
-                slot.1 += 1;
-            }
+    ///
+    /// Fast path: a router with no limiter and no active storm replies
+    /// without ever taking its shard lock.
+    fn take_token(&self, at: RouterId, tick: u64) -> bool {
+        let storm = self.fault.and_then(|plan| plan.storm_window(tick, at));
+        let rl = self.topo.router(at).config.rate_limit;
+        if storm.is_none() && rl.is_none() {
+            return true;
         }
-        let Some(rl) = self.topo.router(at).config.rate_limit else {
+        let mut st = self.slots[at.0 as usize].state.lock();
+        if let Some((window, capacity)) = storm {
+            if st.storm.0 != window {
+                st.storm = (window, 0);
+            }
+            if st.storm.1 >= capacity {
+                return false;
+            }
+            st.storm.1 += 1;
+        }
+        let Some(rl) = rl else {
             return true;
         };
-        let b = &mut self.buckets[at.0 as usize];
+        let b = &mut st.bucket;
         if !b.initialized {
             b.tokens = rl.capacity;
-            b.last_refill_tick = self.tick;
+            b.last_refill_tick = tick;
             b.initialized = true;
         }
-        let elapsed = self.tick.saturating_sub(b.last_refill_tick);
+        let elapsed = tick.saturating_sub(b.last_refill_tick);
         let refill = elapsed / rl.refill_every;
         if refill > 0 {
             b.tokens = (b.tokens as u64 + refill).min(rl.capacity as u64) as u32;
@@ -532,8 +603,121 @@ impl Network {
     }
 }
 
+/// A live network behind the classic exclusive-access API: the
+/// concurrent engine plus an owned event-trace buffer.
+///
+/// This is what sequential callers (tests, the CLI's single-threaded
+/// paths, `SimProber`) use; parallel callers convert with
+/// [`Network::into_concurrent`] and share the result behind an `Arc`.
+pub struct Network {
+    inner: ConcurrentNetwork,
+    trace: Option<Vec<Event>>,
+}
+
+impl Network {
+    /// Builds a network over a validated topology (computes routing).
+    pub fn new(topo: Topology) -> Network {
+        Network { inner: ConcurrentNetwork::new(topo), trace: None }
+    }
+
+    /// Installs a seeded fault plan (builder form). A zero plan (see
+    /// [`FaultPlan::is_zero`]) leaves behavior bit-identical to no plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Network {
+        self.inner.fault = Some(plan);
+        self
+    }
+
+    /// Installs or clears the fault plan at runtime.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.inner.fault = plan;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.fault
+    }
+
+    /// Advances the engine clock by `ticks` without injecting anything
+    /// (see [`ConcurrentNetwork::advance`]).
+    pub fn advance(&mut self, ticks: u64) {
+        self.inner.advance(ticks);
+    }
+
+    /// Enables path fluctuations: every `period` injected packets the ECMP
+    /// hash epoch advances, re-rolling load-balancer decisions (§3.7).
+    pub fn with_fluctuation(mut self, period: u64) -> Network {
+        self.inner = self.inner.with_fluctuation(period);
+        self
+    }
+
+    /// Starts recording a per-injection event trace (for tests/debugging).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The events of the most recent injection (empty unless
+    /// [`enable_trace`](Network::enable_trace) was called).
+    pub fn last_trace(&self) -> &[Event] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// The underlying topology (ground truth for evaluation).
+    pub fn topology(&self) -> &Topology {
+        self.inner.topology()
+    }
+
+    /// The routing table.
+    pub fn routing(&self) -> &RoutingTable {
+        self.inner.routing()
+    }
+
+    /// Number of packets injected so far (the engine clock).
+    pub fn tick(&self) -> u64 {
+        self.inner.tick()
+    }
+
+    /// Ground-truth hop distance from the host owning `vantage` to the
+    /// router owning `target` (see
+    /// [`ConcurrentNetwork::true_hop_distance`]).
+    pub fn true_hop_distance(&self, vantage: Addr, target: Addr) -> Option<u16> {
+        self.inner.true_hop_distance(vantage, target)
+    }
+
+    /// Injects raw wire bytes; the canonical entry point for probers.
+    pub fn inject_bytes(&mut self, bytes: &[u8]) -> Verdict {
+        match Packet::decode(bytes) {
+            Ok(p) => self.inject(&p),
+            Err(_) => {
+                self.inner.bump_tick();
+                Verdict::Silent(SilenceReason::Malformed)
+            }
+        }
+    }
+
+    /// Injects a probe packet and walks it to a verdict.
+    pub fn inject(&mut self, probe: &Packet) -> Verdict {
+        match self.trace.as_mut() {
+            Some(buf) => self.inner.inject_traced(probe, buf),
+            None => self.inner.inject(probe),
+        }
+    }
+
+    /// A shared view of the engine (e.g. for spawning concurrent probes
+    /// from a test while this facade retains ownership).
+    pub fn concurrent(&self) -> &ConcurrentNetwork {
+        &self.inner
+    }
+
+    /// Unwraps into the concurrent engine, dropping the trace buffer;
+    /// how `SharedNetwork` adopts a configured network.
+    pub fn into_concurrent(self) -> ConcurrentNetwork {
+        self.inner
+    }
+}
+
 /// Extracts the load-balancer flow key: ICMP flows are pinned by echo
 /// identifier; UDP/TCP by their port pair.
+#[inline]
 fn flow_key(p: &Packet) -> u64 {
     let l4: u32 = match &p.payload {
         Payload::Icmp(IcmpMessage::EchoRequest { ident, .. }) => *ident as u32,
@@ -546,6 +730,7 @@ fn flow_key(p: &Packet) -> u64 {
 }
 
 /// splitmix64 finalizer — a strong, dependency-free mixer.
+#[inline]
 fn mix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e3779b97f4a7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
@@ -957,6 +1142,57 @@ mod tests {
         // Outside the active window the cap is gone.
         net.advance(600);
         assert!(net.inject(&probe).reply().is_some());
+    }
+
+    #[test]
+    fn concurrent_handle_matches_sequential_facade() {
+        // The same probe sequence through Network and through a
+        // single-threaded ConcurrentNetwork must agree verdict for
+        // verdict, tick for tick.
+        let (topo, names) = samples::diamond();
+        let (topo2, _) = samples::diamond();
+        let v = names.addr("vantage");
+        let d = names.addr("dest");
+        let mut seq = Network::new(topo);
+        let conc = ConcurrentNetwork::new(topo2);
+        for ident in 0..32u16 {
+            for ttl in 1..=4u8 {
+                let probe = icmp_probe(v, d, ttl, ident, ttl as u16);
+                assert_eq!(seq.inject(&probe), conc.inject(&probe), "ident {ident} ttl {ttl}");
+                assert_eq!(seq.tick(), conc.tick());
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_traced_injection_records_the_walk() {
+        let (topo, names) = samples::chain(3);
+        let net = ConcurrentNetwork::new(topo);
+        let mut trace = Vec::new();
+        let _ = net.inject_traced(
+            &icmp_probe(names.addr("vantage"), names.addr("dest"), 2, 1, 1),
+            &mut trace,
+        );
+        assert!(trace.iter().any(|e| matches!(e, Event::TtlExpired { .. })));
+        let _ = net.inject_traced(
+            &icmp_probe(names.addr("vantage"), names.addr("dest"), 64, 1, 2),
+            &mut trace,
+        );
+        assert!(
+            trace.iter().all(|e| !matches!(e, Event::TtlExpired { .. })),
+            "buffer is cleared per injection"
+        );
+    }
+
+    #[test]
+    fn inject_bytes_ticked_returns_the_claimed_tick() {
+        let (topo, names) = samples::chain(1);
+        let net = ConcurrentNetwork::new(topo);
+        let probe = icmp_probe(names.addr("vantage"), names.addr("dest"), 64, 1, 1);
+        let (_, t1) = net.inject_bytes_ticked(&probe.encode());
+        let (v2, t2) = net.inject_bytes_ticked(&[0xff; 9]);
+        assert_eq!((t1, t2), (1, 2), "malformed bytes still consume a tick");
+        assert_eq!(v2.silence(), Some(SilenceReason::Malformed));
     }
 
     #[test]

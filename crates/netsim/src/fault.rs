@@ -156,6 +156,7 @@ impl FaultPlan {
 
     /// Whether the packet injected at `tick` is lost while being
     /// forwarded over `link` by `router` at walk step `step`.
+    #[inline]
     pub fn drops_forward(&self, tick: u64, step: u64, link: SubnetId, router: RouterId) -> bool {
         let link_key = (link.0 as u64) << 16 | step;
         if hit(self.decision(SALT_FORWARD, tick, link_key), self.link_loss_rate(link)) {
@@ -167,11 +168,13 @@ impl FaultPlan {
 
     /// Whether the reply to the packet injected at `tick` is lost on the
     /// reverse path.
+    #[inline]
     pub fn drops_reply(&self, tick: u64) -> bool {
         hit(self.decision(SALT_REPLY, tick, 0), self.reply_loss)
     }
 
     /// Whether `link` is down at `tick` — flapping or withdrawn.
+    #[inline]
     pub fn link_down(&self, tick: u64, link: SubnetId) -> bool {
         let l = link.0 as u64;
         if self.flap_period > 0
@@ -192,6 +195,7 @@ impl FaultPlan {
 
     /// If a storm limits `router` at `tick`: the storm window id (for
     /// per-window reply counting) and the window's reply capacity.
+    #[inline]
     pub fn storm_window(&self, tick: u64, router: RouterId) -> Option<(u64, u32)> {
         let s = self.storm?;
         if s.period == 0 || tick % s.period >= s.active {

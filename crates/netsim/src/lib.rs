@@ -61,7 +61,7 @@ mod routing;
 pub mod samples;
 mod topology;
 
-pub use engine::{Network, Verdict};
+pub use engine::{ConcurrentNetwork, Network, Verdict};
 pub use events::{Event, SilenceReason};
 pub use fault::{FaultPlan, FaultProfile, RateStorm};
 pub use policy::{LbMode, ProtoSet, RateLimit, ResponsePolicy, RouterConfig};

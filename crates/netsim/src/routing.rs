@@ -5,6 +5,12 @@
 //! router graph, where two routers are adjacent iff they share a subnet.
 //! All shortest next hops are retained; the engine's load balancer picks
 //! among them per flow or per packet (§3.7).
+//!
+//! Everything the forwarding hot path needs is precomputed at
+//! [`RoutingTable::compute`] time: the full per-(from, to) ECMP next-hop
+//! sets live in one compressed-sparse-row arena, so [`next_hops`]
+//! (`RoutingTable::next_hops`) returns a borrowed slice — the per-packet
+//! walk allocates nothing.
 
 use std::collections::VecDeque;
 
@@ -18,18 +24,32 @@ pub struct RoutingTable {
     n: usize,
     /// dist[src * n + dst] = hop count between routers (0 on diagonal).
     dist: Vec<u16>,
+    /// CSR offsets into `hops`: the ECMP set for (from, to) is
+    /// `hops[hop_off[from * n + to] .. hop_off[from * n + to + 1]]`.
+    hop_off: Vec<u32>,
+    /// ECMP next-hop arena, each set sorted and deduped.
+    hops: Vec<(RouterId, SubnetId)>,
+    /// CSR offsets into `attached`, one run per subnet.
+    attached_off: Vec<u32>,
+    /// Routers directly attached to each subnet, sorted and deduped —
+    /// the delivery points for unassigned addresses.
+    attached: Vec<RouterId>,
 }
 
 impl RoutingTable {
-    /// Computes the table with one BFS per router.
+    /// Computes the table: one BFS per router for the distance matrix,
+    /// then the dense ECMP next-hop arena and per-subnet attachment
+    /// lists the engine's hot path reads without allocating.
     pub fn compute(topo: &Topology) -> RoutingTable {
         let n = topo.router_count();
         let mut dist = vec![UNREACHABLE; n * n];
-        // Precompute the adjacency list once.
-        let adj: Vec<Vec<RouterId>> = (0..n)
+        // Precompute the (neighbor, via-subnet) adjacency once, sorted
+        // and deduped — the same order `next_hops` used to produce per
+        // call, so the precomputed sets are byte-identical to the old
+        // on-demand ones.
+        let adj: Vec<Vec<(RouterId, SubnetId)>> = (0..n)
             .map(|r| {
-                let mut v: Vec<RouterId> =
-                    topo.neighbors(RouterId(r as u32)).map(|(nb, _)| nb).collect();
+                let mut v: Vec<(RouterId, SubnetId)> = topo.neighbors(RouterId(r as u32)).collect();
                 v.sort_unstable();
                 v.dedup();
                 v
@@ -43,7 +63,7 @@ impl RoutingTable {
             queue.push_back(src);
             while let Some(cur) = queue.pop_front() {
                 let d = row[cur];
-                for &nb in &adj[cur] {
+                for &(nb, _) in &adj[cur] {
                     let nb = nb.0 as usize;
                     if row[nb] == UNREACHABLE {
                         row[nb] = d + 1;
@@ -52,39 +72,79 @@ impl RoutingTable {
                 }
             }
         }
-        RoutingTable { n, dist }
+
+        // ECMP arena: filtering the sorted, deduped adjacency preserves
+        // sort order and uniqueness, so each run equals what
+        // sort+dedup over the filtered neighbors would produce.
+        let mut hop_off = Vec::with_capacity(n * n + 1);
+        hop_off.push(0u32);
+        let mut hops = Vec::new();
+        for from in 0..n {
+            for to in 0..n {
+                let d = dist[from * n + to];
+                if from != to && d != UNREACHABLE {
+                    let want = d - 1;
+                    hops.extend(
+                        adj[from].iter().filter(|&&(nb, _)| dist[nb.0 as usize * n + to] == want),
+                    );
+                }
+                hop_off.push(hops.len() as u32);
+            }
+        }
+
+        let mut attached_off = Vec::with_capacity(topo.subnets().len() + 1);
+        attached_off.push(0u32);
+        let mut attached = Vec::new();
+        for sn in topo.subnets() {
+            let mut run: Vec<RouterId> = sn.ifaces.iter().map(|&i| topo.iface(i).router).collect();
+            run.sort_unstable();
+            run.dedup();
+            attached.extend(run);
+            attached_off.push(attached.len() as u32);
+        }
+
+        RoutingTable { n, dist, hop_off, hops, attached_off, attached }
     }
 
     /// Hop distance between two routers ([`UNREACHABLE`] if disconnected).
+    #[inline]
     pub fn dist(&self, from: RouterId, to: RouterId) -> u16 {
         self.dist[from.0 as usize * self.n + to.0 as usize]
     }
 
     /// Whether `to` is reachable from `from`.
+    #[inline]
     pub fn reachable(&self, from: RouterId, to: RouterId) -> bool {
         self.dist(from, to) != UNREACHABLE
     }
 
     /// The ECMP next-hop set from `from` toward `to`: every
     /// (neighbor, via-subnet) pair lying on some shortest path, in a
-    /// deterministic order.
+    /// deterministic order. Borrowed from the precomputed arena — no
+    /// allocation.
     ///
     /// Empty when `from == to` or `to` is unreachable.
-    pub fn next_hops(
-        &self,
-        topo: &Topology,
-        from: RouterId,
-        to: RouterId,
-    ) -> Vec<(RouterId, SubnetId)> {
-        if from == to || !self.reachable(from, to) {
-            return Vec::new();
-        }
-        let want = self.dist(from, to) - 1;
-        let mut hops: Vec<(RouterId, SubnetId)> =
-            topo.neighbors(from).filter(|&(nb, _)| self.dist(nb, to) == want).collect();
-        hops.sort_unstable();
-        hops.dedup();
-        hops
+    #[inline]
+    pub fn next_hops(&self, from: RouterId, to: RouterId) -> &[(RouterId, SubnetId)] {
+        let cell = from.0 as usize * self.n + to.0 as usize;
+        &self.hops[self.hop_off[cell] as usize..self.hop_off[cell + 1] as usize]
+    }
+
+    /// The routers directly attached to `subnet`, sorted and deduped.
+    #[inline]
+    pub fn attached_routers(&self, subnet: SubnetId) -> &[RouterId] {
+        let s = subnet.0 as usize;
+        &self.attached[self.attached_off[s] as usize..self.attached_off[s + 1] as usize]
+    }
+
+    /// The ingress router of `subnet` as seen from `from`: the attached
+    /// router at minimum hop distance, ties broken by router id —
+    /// exactly [`RoutingTable::nearest`] over
+    /// [`RoutingTable::attached_routers`], without building the
+    /// candidate list per packet.
+    #[inline]
+    pub fn ingress(&self, from: RouterId, subnet: SubnetId) -> Option<RouterId> {
+        self.nearest(from, self.attached_routers(subnet).iter().copied()).map(|(r, _)| r)
     }
 
     /// The nearest router(s) of `candidates` to `from`; used to route
@@ -145,10 +205,10 @@ mod tests {
     fn chain_next_hops_are_unique() {
         let (t, r) = chain(4);
         let rt = RoutingTable::compute(&t);
-        let hops = rt.next_hops(&t, r[0], r[3]);
+        let hops = rt.next_hops(r[0], r[3]);
         assert_eq!(hops.len(), 1);
         assert_eq!(hops[0].0, r[1]);
-        assert!(rt.next_hops(&t, r[0], r[0]).is_empty());
+        assert!(rt.next_hops(r[0], r[0]).is_empty());
     }
 
     #[test]
@@ -163,7 +223,7 @@ mod tests {
         let t = b.build().unwrap();
         let rt = RoutingTable::compute(&t);
         assert!(!rt.reachable(r1, r2));
-        assert!(rt.next_hops(&t, r1, r2).is_empty());
+        assert!(rt.next_hops(r1, r2).is_empty());
         assert!(rt.nearest(r1, [r2]).is_none());
     }
 
@@ -186,10 +246,34 @@ mod tests {
         let (t, r) = diamond();
         let rt = RoutingTable::compute(&t);
         assert_eq!(rt.dist(r[0], r[3]), 2);
-        let hops = rt.next_hops(&t, r[0], r[3]);
+        let hops = rt.next_hops(r[0], r[3]);
         assert_eq!(hops.len(), 2);
         let nbs: Vec<RouterId> = hops.iter().map(|&(n, _)| n).collect();
         assert!(nbs.contains(&r[1]) && nbs.contains(&r[2]));
+    }
+
+    #[test]
+    fn precomputed_sets_match_on_demand_construction() {
+        // The arena must hold, for every (from, to) pair, exactly the
+        // sorted+deduped filter of the neighbor list — the construction
+        // `next_hops` performed per call before precomputation.
+        let (t, r) = diamond();
+        let rt = RoutingTable::compute(&t);
+        for &from in &r {
+            for &to in &r {
+                let expected: Vec<(RouterId, SubnetId)> = if from == to || !rt.reachable(from, to) {
+                    Vec::new()
+                } else {
+                    let want = rt.dist(from, to) - 1;
+                    let mut v: Vec<(RouterId, SubnetId)> =
+                        t.neighbors(from).filter(|&(nb, _)| rt.dist(nb, to) == want).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                };
+                assert_eq!(rt.next_hops(from, to), expected.as_slice(), "{from:?} -> {to:?}");
+            }
+        }
     }
 
     #[test]
@@ -200,6 +284,30 @@ mod tests {
         // Ties broken by router id.
         assert_eq!(rt.nearest(r[1], [r[0], r[2]]), Some((r[0], 1)));
         let _ = t;
+    }
+
+    #[test]
+    fn ingress_agrees_with_nearest_over_attached_routers() {
+        let (t, r) = chain(4);
+        let rt = RoutingTable::compute(&t);
+        for sn in 0..t.subnets().len() {
+            let sn = SubnetId(sn as u32);
+            let members: Vec<RouterId> =
+                t.subnet(sn).ifaces.iter().map(|&i| t.iface(i).router).collect();
+            assert_eq!(rt.attached_routers(sn), {
+                let mut m = members.clone();
+                m.sort_unstable();
+                m.dedup();
+                m
+            });
+            for &from in &r {
+                assert_eq!(
+                    rt.ingress(from, sn),
+                    rt.nearest(from, members.iter().copied()).map(|(c, _)| c),
+                    "{from:?} -> {sn:?}"
+                );
+            }
+        }
     }
 
     #[test]

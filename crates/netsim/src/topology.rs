@@ -84,6 +84,8 @@ pub struct Topology {
     subnets: Vec<Subnet>,
     by_addr: HashMap<Addr, IfaceId>,
     by_prefix: HashMap<Prefix, SubnetId>,
+    /// Name → id, first declaration wins (built in [`TopologyBuilder::build`]).
+    by_name: HashMap<String, RouterId>,
     /// Distinct prefix lengths present, descending — longest-prefix match
     /// probes these in order.
     prefix_lens: Vec<u8>,
@@ -148,9 +150,11 @@ impl Topology {
         self.iface_by_addr(addr).map(|i| self.iface(i).router)
     }
 
-    /// Finds a router by name (linear scan; intended for tests/samples).
+    /// Finds a router by name. O(1) via a map built at
+    /// [`TopologyBuilder::build`] time; when two routers share a name the
+    /// earliest declaration wins, matching the old linear scan.
     pub fn router_by_name(&self, name: &str) -> Option<RouterId> {
-        self.routers.iter().position(|r| r.name == name).map(|i| RouterId(i as u32))
+        self.by_name.get(name).copied()
     }
 
     /// The interface of `router` that sits on `subnet`, if any.
@@ -373,6 +377,11 @@ impl TopologyBuilder {
         lens.sort_unstable_by(|a, b| b.cmp(a));
         lens.dedup();
         self.topo.prefix_lens = lens;
+        // Name index; entry() keeps the first declaration on duplicates,
+        // matching the linear scan this map replaces.
+        for (i, r) in self.topo.routers.iter().enumerate() {
+            self.topo.by_name.entry(r.name.clone()).or_insert(RouterId(i as u32));
+        }
         Ok(self.topo)
     }
 }
@@ -493,6 +502,38 @@ mod tests {
         let i = b.attach_with(r, s, a("10.0.0.1"), false).unwrap();
         let t = b.build().unwrap();
         assert!(!t.iface(i).responsive);
+    }
+
+    #[test]
+    fn router_by_name_prefers_first_declaration() {
+        let mut b = TopologyBuilder::new();
+        let first = b.router("twin", RouterConfig::cooperative());
+        let _second = b.router("twin", RouterConfig::cooperative());
+        let solo = b.router("solo", RouterConfig::cooperative());
+        let t = b.build().unwrap();
+        assert_eq!(t.router_by_name("twin"), Some(first));
+        assert_eq!(t.router_by_name("solo"), Some(solo));
+        assert_eq!(t.router_by_name("absent"), None);
+    }
+
+    #[test]
+    fn longest_prefix_match_probes_lengths_most_specific_first() {
+        // Nested-looking lengths across disjoint ranges: the probe order
+        // /30, /24, /16 must find the most specific container even when a
+        // wider prefix also exists at another length.
+        let mut b = TopologyBuilder::new();
+        let r = b.router("r", RouterConfig::cooperative());
+        let p16 = b.subnet(p("10.16.0.0/16"));
+        let p24 = b.subnet(p("10.24.0.0/24"));
+        let p30 = b.subnet(p("10.30.0.0/30"));
+        b.attach(r, p16, a("10.16.0.1")).unwrap();
+        b.attach(r, p24, a("10.24.0.1")).unwrap();
+        b.attach(r, p30, a("10.30.0.1")).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.subnet_containing(a("10.16.200.9")), Some(p16));
+        assert_eq!(t.subnet_containing(a("10.24.0.77")), Some(p24));
+        assert_eq!(t.subnet_containing(a("10.30.0.2")), Some(p30));
+        assert_eq!(t.subnet_containing(a("10.31.0.1")), None);
     }
 
     #[test]

@@ -15,9 +15,9 @@
 //!   optimized to collect the subnets with the least number of probes and
 //!   some of the rules are merged together", §3.5): heuristics H3 and H6
 //!   share a single `⟨l, jʰ−1⟩` probe through this cache;
-//! * [`SharedSimProber`] — a `SimProber` over a network behind a mutex, so
-//!   several vantage points can interleave sessions over one simulated
-//!   Internet.
+//! * [`SharedSimProber`] — a `SimProber` over a shared concurrent network
+//!   handle (`netsim::ConcurrentNetwork`), so several vantage points and
+//!   worker threads probe one simulated Internet without a global lock.
 //!
 //! The probe vocabulary (§3.1 of the paper) is captured by
 //! [`ProbeOutcome`]: a **direct reply** (echo reply / port unreachable /
@@ -30,6 +30,7 @@
 
 mod budget;
 mod cache;
+pub mod ident;
 mod outcome;
 mod prober;
 mod replay;
@@ -40,6 +41,7 @@ mod sim;
 
 pub use budget::FaultBudgetProber;
 pub use cache::CachingProber;
+pub use ident::{IdentAllocator, IdentBlock, IdentSpace};
 pub use outcome::{ProbeOutcome, UnreachKind};
 pub use prober::{FlowMode, ProbeStats, Prober};
 pub use replay::ReplayProber;

@@ -2,51 +2,75 @@
 //!
 //! The paper's cross-validation experiment (§4.2, Figure 6) runs the same
 //! target list from three PlanetLab sites against the *same* Internet.
-//! [`SharedNetwork`] puts a `netsim::Network` behind a mutex so one
-//! [`SharedSimProber`] per vantage can interleave probes over it — which
-//! also keeps shared engine state (rate limiters, the fluctuation clock)
-//! honest across vantages.
+//! [`SharedNetwork`] wraps a `netsim::ConcurrentNetwork` — the engine's
+//! lock-free shared handle — so one [`SharedSimProber`] per vantage (or
+//! per batch worker) probes it concurrently: the topology and routing
+//! tables are immutable and read without any lock, the packet clock is
+//! atomic, and rate limiters live behind per-router shards inside the
+//! engine. Shared state (rate limiters, the fluctuation clock) therefore
+//! stays honest across vantages without serializing the probe hot path.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use inet::Addr;
-use netsim::{Network, Verdict};
+use netsim::{ConcurrentNetwork, Network, Verdict};
 use obs::{ProbeEvent, Recorder, TimeoutCause};
-use parking_lot::Mutex;
 use wire::{builder, Packet, Protocol};
 
+use crate::ident::{IdentAllocator, IdentSpace};
 use crate::outcome::ProbeOutcome;
 use crate::prober::{ProbeStats, Prober};
 use crate::retry::{RetryPolicy, RetryState};
 use crate::sim::silence_cause;
 
-/// A cloneable handle to a mutex-protected network.
+/// A cloneable handle to a concurrently probeable network.
+///
+/// The handle also owns an [`IdentAllocator`], so probers created without
+/// an explicit [`SharedSimProber::ident`] draw collision-free defaults
+/// from the `Aux` namespace instead of all sharing one magic constant.
 #[derive(Clone)]
 pub struct SharedNetwork {
-    inner: Arc<Mutex<Network>>,
+    inner: Arc<ConcurrentNetwork>,
+    idents: Arc<IdentAllocator>,
 }
 
 impl SharedNetwork {
-    /// Wraps a network.
+    /// Adopts a configured network (dropping its trace buffer).
     pub fn new(net: Network) -> SharedNetwork {
-        SharedNetwork { inner: Arc::new(Mutex::new(net)) }
+        SharedNetwork::from_concurrent(net.into_concurrent())
     }
 
-    /// Runs `f` with exclusive access to the network.
-    pub fn with<R>(&self, f: impl FnOnce(&mut Network) -> R) -> R {
-        f(&mut self.inner.lock())
+    /// Wraps an already-concurrent engine handle.
+    pub fn from_concurrent(net: ConcurrentNetwork) -> SharedNetwork {
+        SharedNetwork { inner: Arc::new(net), idents: Arc::new(IdentAllocator::new()) }
     }
 
-    /// Creates a prober for the given vantage address and protocol.
+    /// Runs `f` with the shared network. Purely a convenience — access is
+    /// lock-free, so `f` runs concurrently with other holders.
+    pub fn with<R>(&self, f: impl FnOnce(&ConcurrentNetwork) -> R) -> R {
+        f(&self.inner)
+    }
+
+    /// The shared ident allocator (batch drivers reserve blocks here so
+    /// their sessions never collide with default-ident probers).
+    pub fn idents(&self) -> &IdentAllocator {
+        &self.idents
+    }
+
+    /// Creates a prober for the given vantage address and protocol. The
+    /// session ident defaults to a fresh slot in the `Aux` namespace;
+    /// override with [`SharedSimProber::ident`] for a pinned flow.
     pub fn prober(&self, src: Addr, protocol: Protocol) -> SharedSimProber {
-        let known = self.with(|n| n.topology().owner_of(src).is_some());
+        let known = self.inner.topology().owner_of(src).is_some();
         assert!(known, "prober source {src} is not an interface of the network");
         SharedSimProber {
             net: self.clone(),
             src,
             protocol,
-            ident: 0x7ace,
+            ident: self.idents.ident(IdentSpace::Aux),
             seq: 0,
+            rtt: Duration::ZERO,
             retry: RetryState::new(RetryPolicy::default()),
             stats: ProbeStats::default(),
             recorder: Recorder::disabled(),
@@ -62,6 +86,7 @@ pub struct SharedSimProber {
     protocol: Protocol,
     ident: u16,
     seq: u16,
+    rtt: Duration,
     retry: RetryState,
     stats: ProbeStats,
     recorder: Recorder,
@@ -71,6 +96,18 @@ impl SharedSimProber {
     /// Sets the session identifier, distinguishing this vantage's flows.
     pub fn ident(mut self, ident: u16) -> Self {
         self.ident = ident;
+        self
+    }
+
+    /// Models a per-probe round-trip time: every wire send blocks this
+    /// thread for `rtt` while the (simulated-instantaneous) reply is "in
+    /// flight". `Duration::ZERO` (the default) skips the sleep entirely,
+    /// keeping single-job runs byte- and time-identical; a nonzero RTT
+    /// makes batch probing latency-bound, which is what `--jobs`
+    /// parallelism overlaps — exactly as real probes overlap network
+    /// waits.
+    pub fn rtt(mut self, rtt: Duration) -> Self {
+        self.rtt = rtt;
         self
     }
 
@@ -127,12 +164,17 @@ impl Prober for SharedSimProber {
                 self.stats.retries += 1;
                 let delay = self.retry.delay(attempt);
                 if delay > 0 {
-                    self.net.with(|n| n.advance(delay));
+                    self.net.inner.advance(delay);
                 }
             }
             let probe = self.build_probe(dst, ttl);
             self.stats.sent += 1;
-            let (verdict, tick) = self.net.with(|n| (n.inject_bytes(&probe.encode()), n.tick()));
+            // The injection's own tick, not `tick()` afterwards: other
+            // workers may have injected in between.
+            let (verdict, tick) = self.net.inner.inject_bytes_ticked(&probe.encode());
+            if self.rtt > Duration::ZERO {
+                std::thread::sleep(self.rtt);
+            }
             (outcome, cause) = match verdict {
                 Verdict::Reply(reply) => {
                     let o = crate::sim::classify_reply(self.protocol, self.src, &probe, &reply);
@@ -175,7 +217,7 @@ impl Prober for SharedSimProber {
     }
 
     fn clock(&self) -> u64 {
-        self.net.with(|n| n.tick())
+        self.net.inner.tick()
     }
 }
 
@@ -248,5 +290,31 @@ mod tests {
         let (topo, _) = samples::chain(1);
         let shared = SharedNetwork::new(Network::new(topo));
         let _ = shared.prober("203.0.113.1".parse().unwrap(), Protocol::Icmp);
+    }
+
+    #[test]
+    fn default_idents_are_distinct_per_prober() {
+        let (topo, names) = samples::figure2();
+        let shared = SharedNetwork::new(Network::new(topo));
+        let a = shared.prober(names.addr("A"), Protocol::Icmp);
+        let b = shared.prober(names.addr("B"), Protocol::Icmp);
+        assert_ne!(a.ident, b.ident, "two default probers must not share a flow ident");
+        for p in [&a, &b] {
+            let base = IdentSpace::Aux.base();
+            assert!(p.ident >= base, "default idents come from the Aux namespace");
+        }
+    }
+
+    #[test]
+    fn rtt_sleep_does_not_change_outcomes() {
+        let (topo, names) = samples::chain(1);
+        let shared = SharedNetwork::new(Network::new(topo));
+        let mut p = shared
+            .prober(names.addr("vantage"), Protocol::Icmp)
+            .ident(7)
+            .rtt(Duration::from_micros(50));
+        let d = names.addr("dest");
+        assert_eq!(p.probe(d, 64), ProbeOutcome::DirectReply { from: d });
+        assert_eq!(shared.with(|n| n.tick()), 1);
     }
 }

@@ -1,5 +1,7 @@
 //! The batch scheduler: N targets fanned across a worker pool over one
-//! mutex-protected network.
+//! shared network. Workers probe the engine's lock-free concurrent
+//! handle directly (`netsim::ConcurrentNetwork` via
+//! [`probe::SharedNetwork`]) — no global lock serializes the hot path.
 //!
 //! Determinism contract: the result is assembled into **target order**
 //! regardless of which worker finished which session first, and every
@@ -11,6 +13,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -38,6 +41,13 @@ pub struct BatchConfig {
     /// Retry policy used by every session's prober (the default is the
     /// paper's fixed single re-probe).
     pub retry: RetryPolicy,
+    /// Modeled per-probe round-trip time. `Duration::ZERO` (the default)
+    /// probes at simulator speed; a nonzero RTT blocks each wire send for
+    /// that long, making the batch latency-bound — the regime where
+    /// `jobs` parallelism pays, as on the real Internet. Only the
+    /// concurrent path honors this; `run_batch_seq` always runs at
+    /// simulator speed.
+    pub probe_rtt: Duration,
 }
 
 impl Default for BatchConfig {
@@ -48,6 +58,7 @@ impl Default for BatchConfig {
             protocol: Protocol::Icmp,
             opts: TracenetOptions::default(),
             retry: RetryPolicy::default(),
+            probe_rtt: Duration::ZERO,
         }
     }
 }
@@ -68,10 +79,10 @@ pub struct BatchResult {
 /// panic inside the session (a prober bug, a poisoned topology edge
 /// case) is caught and converted into a sentinel report with
 /// `aborted: true` and no hops, so one bad target can neither take down
-/// its worker thread nor stall the pool. The shared network mutex is
-/// `parking_lot` (no poisoning) and the subnet cache only admits
-/// complete hops, so a mid-flight panic cannot leave corrupt shared
-/// state behind.
+/// its worker thread nor stall the pool. The engine's shared state lives
+/// behind per-router `parking_lot` shards (no poisoning) and the subnet
+/// cache only admits complete hops, so a mid-flight panic cannot leave
+/// corrupt shared state behind.
 fn run_session<P: Prober>(
     prober: P,
     target: Addr,
@@ -129,6 +140,7 @@ pub fn run_batch(
                 let prober = net
                     .prober(vantage, cfg.protocol)
                     .ident(block.get(k))
+                    .rtt(cfg.probe_rtt)
                     .retry_policy(cfg.retry)
                     .recorder(recorder.clone());
                 run_session(prober, target, cfg.opts, store.clone(), &recorder)
@@ -148,6 +160,7 @@ pub fn run_batch(
                 let prober = net
                     .prober(vantage, cfg.protocol)
                     .ident(block.get(k))
+                    .rtt(cfg.probe_rtt)
                     .retry_policy(cfg.retry)
                     .recorder(recorder.clone());
                 let report = run_session(prober, target, cfg.opts, store.clone(), &recorder);
